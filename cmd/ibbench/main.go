@@ -1,0 +1,87 @@
+// Command ibbench regenerates the paper's evaluation: one table per figure
+// (Fig. 4-13 and the Eq. 2 analysis).
+//
+// Usage:
+//
+//	ibbench [-fig all|fig4|fig5|...|fig13|eq2] [-measure 12ms] [-warmup 3ms]
+//	        [-seeds 3] [-csv dir]
+//
+// Output is an aligned text table per experiment; -csv additionally writes
+// one CSV file per experiment into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/units"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment id (fig4..fig13, eq2) or 'all'")
+	measure := flag.Duration("measure", 12*time.Millisecond, "simulated measurement window")
+	warmup := flag.Duration("warmup", 3*time.Millisecond, "simulated warmup before measuring")
+	seeds := flag.Int("seeds", 3, "number of seeds to average (paper: 3 runs)")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	flag.Parse()
+
+	opts := experiments.Options{
+		Measure: units.Duration(measure.Nanoseconds()) * units.Nanosecond,
+		Warmup:  units.Duration(warmup.Nanoseconds()) * units.Nanosecond,
+	}
+	for s := 1; s <= *seeds; s++ {
+		opts.Seeds = append(opts.Seeds, uint64(s))
+	}
+
+	var tables []*experiments.Table
+	if *fig == "all" {
+		ts, err := experiments.All(opts)
+		if err != nil {
+			fatal(err)
+		}
+		tables = ts
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			runner, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q", id))
+			}
+			t, err := runner(opts)
+			if err != nil {
+				fatal(err)
+			}
+			tables = append(tables, t)
+		}
+	}
+
+	for _, t := range tables {
+		fmt.Println(t.String())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, t); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command ibsim is a free-form playground for the switch model: choose a
+// topology, scheduling policy, QoS configuration and traffic mix, and
+// observe the resulting latency/bandwidth split.
+//
+// Usage:
+//
+//	ibsim [-profile hw|sim] [-topology star|twotier] [-policy fcfs|rr|vlarb]
+//	      [-qos] [-bsgs 5] [-bsg-payload 4096] [-pretend] [-duration 10ms]
+//	      [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	profile := flag.String("profile", "hw", "hw (SX6012) or sim (OMNeT-like)")
+	topo := flag.String("topology", "star", "star or twotier")
+	policy := flag.String("policy", "fcfs", "fcfs, rr or vlarb")
+	qos := flag.Bool("qos", false, "dedicated SL/VL QoS (maps SL1 to high-priority VL1)")
+	bsgs := flag.Int("bsgs", 5, "bulk generators")
+	bsgPayload := flag.Int64("bsg-payload", 4096, "bulk message size")
+	pretend := flag.Bool("pretend", false, "replace one BSG with a pretend-LSG (requires -qos)")
+	duration := flag.Duration("duration", 10*time.Millisecond, "simulated run length")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	par := repro.HWTestbed()
+	if *profile == "sim" {
+		par = repro.OMNeTSim()
+	}
+
+	var cl *repro.Cluster
+	var bsgSrc []int
+	lsgSrc, dst := 5, 6
+	switch *topo {
+	case "star":
+		cl = repro.NewCluster(par, 7, *seed)
+		bsgSrc = []int{0, 1, 2, 3, 4}
+	case "twotier":
+		cl = repro.NewTwoTier(par, 3, 4, *seed)
+		bsgSrc = []int{0, 1, 3, 4, 5}
+		lsgSrc = 2
+	default:
+		fatal(fmt.Errorf("unknown topology %q", *topo))
+	}
+
+	switch *policy {
+	case "fcfs":
+		cl.SetPolicy(repro.FCFS)
+	case "rr":
+		cl.SetPolicy(repro.RR)
+	case "vlarb":
+		cl.SetPolicy(repro.VLArb)
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	lsgSL := uint8(0)
+	if *qos {
+		if err := cl.UseDedicatedQoS(); err != nil {
+			fatal(err)
+		}
+		lsgSL = 1
+	}
+
+	n := *bsgs
+	if n > len(bsgSrc) {
+		n = len(bsgSrc)
+	}
+	if *pretend && n > 0 {
+		n--
+	}
+	var flows []*repro.BulkFlow
+	for i := 0; i < n; i++ {
+		f, err := cl.StartBulkFlow(bsgSrc[i], dst, repro.ByteSize(*bsgPayload), 0)
+		if err != nil {
+			fatal(err)
+		}
+		flows = append(flows, f)
+	}
+	var pretendFlow *repro.BulkFlow
+	if *pretend {
+		f, err := cl.StartPretendLSG(bsgSrc[len(bsgSrc)-1], dst, lsgSL)
+		if err != nil {
+			fatal(err)
+		}
+		pretendFlow = f
+	}
+	probe, err := cl.StartLatencyProbe(lsgSrc, dst, lsgSL)
+	if err != nil {
+		fatal(err)
+	}
+
+	cl.Run(repro.Duration(duration.Nanoseconds()) * repro.Nanosecond)
+
+	fmt.Printf("ibsim: profile=%s topology=%s policy=%s qos=%v\n", *profile, *topo, *policy, *qos)
+	s := probe.Summary()
+	fmt.Printf("  LSG RTT: median %v  p99.9 %v  (%d samples)\n", s.Median, s.P999, s.Count)
+	var total float64
+	for i, f := range flows {
+		g := f.Goodput(cl)
+		total += g.Gigabits()
+		fmt.Printf("  BSG%d goodput: %v\n", i+1, g)
+	}
+	if pretendFlow != nil {
+		g := pretendFlow.Goodput(cl)
+		total += g.Gigabits()
+		fmt.Printf("  pretend-LSG goodput: %v\n", g)
+	}
+	fmt.Printf("  total bulk goodput: %.1fGbps of 56Gbps\n", total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibsim:", err)
+	os.Exit(1)
+}

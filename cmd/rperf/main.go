@@ -1,0 +1,94 @@
+// Command rperf mirrors the paper's RPerf tool on the simulated fabric:
+// it measures switch RTT with end-point overheads excluded, under a chosen
+// traffic pattern.
+//
+// Usage:
+//
+//	rperf [-payload 64] [-pattern one-to-one|many-to-one] [-bsgs 5]
+//	      [-bsg-payload 4096] [-no-switch] [-samples 5000] [-seed 1]
+//	      [-compare-tools]
+//
+// -pattern one-to-one measures zero-load latency; many-to-one adds
+// bandwidth-intensive generators converging on the destination (the paper's
+// §VII setup). -compare-tools also runs the Perftest and Qperf models so
+// their end-point bias is visible side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	payload := flag.Int64("payload", 64, "probe payload bytes")
+	pattern := flag.String("pattern", "one-to-one", "one-to-one or many-to-one")
+	bsgs := flag.Int("bsgs", 5, "bandwidth generators for many-to-one")
+	bsgPayload := flag.Int64("bsg-payload", 4096, "BSG message size")
+	noSwitch := flag.Bool("no-switch", false, "connect the two hosts back to back")
+	samples := flag.Uint64("samples", 5000, "RTT samples to record")
+	seed := flag.Uint64("seed", 1, "random seed")
+	compare := flag.Bool("compare-tools", false, "also run Perftest and Qperf models")
+	flag.Parse()
+
+	par := repro.HWTestbed()
+	var cl *repro.Cluster
+	src, dst := 0, 6
+	if *noSwitch {
+		cl = repro.NewBackToBack(par, *seed)
+		dst = 1
+	} else {
+		cl = repro.NewCluster(par, 7, *seed)
+	}
+
+	if *pattern == "many-to-one" {
+		if *noSwitch {
+			fatal(fmt.Errorf("many-to-one requires the switch"))
+		}
+		src = 5
+		for i := 0; i < *bsgs && i < 5; i++ {
+			if _, err := cl.StartBulkFlow(i, dst, repro.ByteSize(*bsgPayload), 0); err != nil {
+				fatal(err)
+			}
+		}
+		// Let the converged queues reach steady state before measuring.
+		cl.Run(3 * repro.Millisecond)
+	}
+
+	res, err := cl.MeasureRTT(src, dst, repro.RTTConfig{
+		Payload: repro.ByteSize(*payload),
+		Samples: *samples,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("rperf: %s, payload %dB, %d samples\n", *pattern, *payload, res.Samples)
+	fmt.Printf("  RTT median  %v\n", res.Median)
+	fmt.Printf("  RTT p99     %v\n", res.P99)
+	fmt.Printf("  RTT p99.9   %v\n", res.P999)
+	fmt.Printf("  RTT min/max %v / %v\n", res.Min, res.Max)
+	fmt.Printf("  excluded local-side overhead (median): %v\n", res.LocalOverheadMedian)
+
+	if *compare {
+		cl2 := repro.NewCluster(par, 7, *seed)
+		pf, err := cl2.MeasurePerftest(0, 6, repro.ByteSize(*payload), 10*repro.Millisecond)
+		if err != nil {
+			fatal(err)
+		}
+		qm, err := cl2.MeasureQperf(1, 6, repro.ByteSize(*payload), 10*repro.Millisecond)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nbaseline tools (same fabric, zero load):\n")
+		fmt.Printf("  perftest median %v  p99.9 %v   (includes end-point overheads)\n", pf.Median, pf.P999)
+		fmt.Printf("  qperf    mean   %v              (mean only; no tail)\n", qm)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rperf:", err)
+	os.Exit(1)
+}

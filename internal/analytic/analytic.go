@@ -1,0 +1,113 @@
+// Package analytic provides the closed-form models the reproduction checks
+// its simulator against: the paper's Eq. 2 waiting-time bound, the
+// frozen-occupancy standing-queue law (DESIGN.md), and the bandwidth
+// ceilings that shape Figures 5, 7b and 9.
+package analytic
+
+import (
+	"repro/internal/ib"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// Eq2Wait is the paper's Equation 2: the minimum time an LSG packet waits
+// when N BSG input buffers are full:
+//
+//	Wt = N * BufferSize / LinkBandwidth
+//
+// The paper itself notes its simulator's per-BSG increment (3.9-4.6 us)
+// only loosely matches this bound (3.6 us for 32 KB at 56 Gb/s); the
+// frozen-occupancy law below is the tighter model.
+func Eq2Wait(n int, buffer units.ByteSize, link units.Bandwidth) units.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return units.Serialization(units.ByteSize(n)*buffer, link)
+}
+
+// FrozenOccupancy is the standing occupancy of a credit window W fed at
+// offered rate ro and drained at rd: W * (1 - rd/ro), clamped to [0, W].
+// See package link for the mechanism.
+func FrozenOccupancy(w units.ByteSize, offered, drain units.Bandwidth) units.ByteSize {
+	if offered <= 0 || drain >= offered {
+		return 0
+	}
+	frac := 1 - float64(drain)/float64(offered)
+	return units.ByteSize(float64(w) * frac)
+}
+
+// ConvergedConfig describes a many-to-one scenario for the latency model.
+type ConvergedConfig struct {
+	Fabric     model.FabricParams
+	NumBSGs    int
+	BSGPayload units.ByteSize
+	// BSGMsgCost overrides the per-message engine cost (0 = NIC default).
+	BSGMsgCost units.Duration
+}
+
+// wireSize returns the on-wire size of a BSG packet.
+func (c ConvergedConfig) wireSize() units.ByteSize {
+	return c.BSGPayload + ib.MaxHeaderBytes
+}
+
+// OfferedWireRate is one BSG's offered load in wire bytes (engine-limited).
+func (c ConvergedConfig) OfferedWireRate() units.Bandwidth {
+	cost := c.BSGMsgCost
+	if cost == 0 {
+		cost = c.Fabric.NIC.MessageCost
+	}
+	occ := c.Fabric.NIC.EngineOccupancy(c.wireSize(), cost)
+	if occ <= 0 {
+		return c.Fabric.Link.Bandwidth
+	}
+	return units.Rate(c.wireSize(), occ)
+}
+
+// EgressCapacity is the congested egress port's total wire-rate capacity
+// for this packet size, including the rearbitration overhead model.
+func (c ConvergedConfig) EgressCapacity() units.Bandwidth {
+	ser := units.Serialization(c.wireSize(), c.Fabric.Link.Bandwidth)
+	over := units.Duration(0)
+	if c.NumBSGs > 1 && c.Fabric.Switch.ArbOverheadMax > 0 {
+		frac := 1 - 1/float64(c.NumBSGs)
+		r := float64(c.wireSize()) / float64(c.Fabric.Switch.ArbRefBytes)
+		over = units.Duration(float64(c.Fabric.Switch.ArbOverheadMax) * frac * r * r)
+	}
+	return units.Rate(c.wireSize(), ser+over)
+}
+
+// PredictLSGWait estimates the LSG's queueing delay behind the BSG input
+// buffers: N standing occupancies drained at the egress capacity.
+func (c ConvergedConfig) PredictLSGWait() units.Duration {
+	if c.NumBSGs <= 0 {
+		return 0
+	}
+	cap := c.EgressCapacity()
+	perBSG := units.Bandwidth(int64(cap) / int64(c.NumBSGs))
+	occ := FrozenOccupancy(c.Fabric.Switch.VLWindow, c.OfferedWireRate(), perBSG)
+	return units.Serialization(units.ByteSize(c.NumBSGs)*occ, cap)
+}
+
+// PredictTotalGoodput estimates the BSGs' aggregate delivered payload
+// bandwidth: the smaller of what they offer and what the egress can carry,
+// scaled by the payload fraction of the wire size.
+func (c ConvergedConfig) PredictTotalGoodput() units.Bandwidth {
+	offered := units.Bandwidth(int64(c.OfferedWireRate()) * int64(c.NumBSGs))
+	cap := c.EgressCapacity()
+	wire := offered
+	if cap < wire {
+		wire = cap
+	}
+	frac := float64(c.BSGPayload) / float64(c.wireSize())
+	return units.Bandwidth(float64(wire) * frac)
+}
+
+// OneToOneGoodput is the engine-limited goodput of a single generator
+// (Fig. 5's curve).
+func OneToOneGoodput(nic model.NICParams, payload units.ByteSize) units.Bandwidth {
+	occ := nic.EngineOccupancy(payload+ib.MaxHeaderBytes, nic.MessageCost)
+	if occ <= 0 {
+		return nic.LinkBandwidth
+	}
+	return units.Rate(payload, occ)
+}

@@ -1,0 +1,136 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+func TestEq2MatchesPaperExample(t *testing.T) {
+	// Paper §VIII-B: 32 KB buffer at 56 Gb/s -> each BSG adds ~4.68 us
+	// per Eq. 2 with 32 KB = 32768 B (the paper quotes 3.6 us using
+	// decimal KB and approximations; the formula itself is what we check:
+	// linear in N).
+	w1 := Eq2Wait(1, 32*units.KB, 56*units.Gbps)
+	w5 := Eq2Wait(5, 32*units.KB, 56*units.Gbps)
+	if math.Abs(w1.Microseconds()-4.68) > 0.05 {
+		t.Errorf("Eq2(1) = %.2f us, want ~4.68", w1.Microseconds())
+	}
+	if w5 != 5*w1 {
+		t.Errorf("Eq2 must be linear in N: %v vs 5*%v", w5, w1)
+	}
+	if Eq2Wait(0, 32*units.KB, 56*units.Gbps) != 0 {
+		t.Error("Eq2(0) must be 0")
+	}
+}
+
+func TestFrozenOccupancyBounds(t *testing.T) {
+	w := 32 * units.KB
+	if FrozenOccupancy(w, 56*units.Gbps, 56*units.Gbps) != 0 {
+		t.Error("drain >= offered must give empty buffer")
+	}
+	if FrozenOccupancy(w, 0, 10*units.Gbps) != 0 {
+		t.Error("zero offered must give empty buffer")
+	}
+	occ := FrozenOccupancy(w, 52*units.Gbps, 26*units.Gbps)
+	if math.Abs(float64(occ)-0.5*float64(w)) > 1 {
+		t.Errorf("half-drain occupancy = %d, want W/2", occ)
+	}
+}
+
+func TestPropertyFrozenOccupancyMonotonic(t *testing.T) {
+	// Occupancy grows as drain shrinks, and never exceeds the window.
+	f := func(d1, d2 uint8) bool {
+		w := 32 * units.KB
+		r1 := units.Bandwidth(int64(d1%56)+1) * units.Gbps
+		r2 := units.Bandwidth(int64(d2%56)+1) * units.Gbps
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		o1 := FrozenOccupancy(w, 56*units.Gbps, r1)
+		o2 := FrozenOccupancy(w, 56*units.Gbps, r2)
+		return o1 >= o2 && o1 <= w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictLSGWaitMatchesPaperFig7a(t *testing.T) {
+	// The closed form should land near the paper's measured medians
+	// (minus the ~0.6 us base RTT): 2 BSGs ~4.6 us, 5 BSGs ~20 us.
+	for _, c := range []struct {
+		n      int
+		wantUs float64
+		tolUs  float64
+	}{
+		{2, 4.6, 1.5},
+		{3, 10.1, 2.5},
+		{5, 20.0, 4.0},
+	} {
+		cfg := ConvergedConfig{Fabric: model.HWTestbed(), NumBSGs: c.n, BSGPayload: 4096}
+		got := cfg.PredictLSGWait().Microseconds()
+		if math.Abs(got-c.wantUs) > c.tolUs {
+			t.Errorf("N=%d: predicted wait %.1f us, want ~%.1f", c.n, got, c.wantUs)
+		}
+	}
+}
+
+func TestPredictGoodputMatchesPaperFig7b(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want float64
+	}{
+		{1, 52.2},
+		{2, 51.1},
+		{5, 48.4},
+	} {
+		cfg := ConvergedConfig{Fabric: model.HWTestbed(), NumBSGs: c.n, BSGPayload: 4096}
+		got := cfg.PredictTotalGoodput().Gigabits()
+		if math.Abs(got-c.want) > 1.5 {
+			t.Errorf("N=%d: predicted goodput %.1f Gb/s, want ~%.1f", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPredictGoodputFig9SmallPayloads(t *testing.T) {
+	// Fig. 9: 64 B -> ~35% of 56 Gb/s, 128 B -> ~70%, 512 B+ -> ~88%.
+	link := 56.0
+	for _, c := range []struct {
+		payload units.ByteSize
+		wantPct float64
+		tolPct  float64
+	}{
+		{64, 35, 4},
+		{128, 70, 5},
+		{512, 88, 4},
+	} {
+		cfg := ConvergedConfig{Fabric: model.HWTestbed(), NumBSGs: 5, BSGPayload: c.payload}
+		pct := cfg.PredictTotalGoodput().Gigabits() / link * 100
+		if math.Abs(pct-c.wantPct) > c.tolPct {
+			t.Errorf("payload %d: %.0f%% of link, want ~%.0f%%", c.payload, pct, c.wantPct)
+		}
+	}
+}
+
+func TestOneToOneGoodputFig5(t *testing.T) {
+	nic := model.HWTestbed().NIC
+	if g := OneToOneGoodput(nic, 64).Gigabits(); math.Abs(g-4.1) > 0.3 {
+		t.Errorf("64 B goodput = %.1f, want ~4.1", g)
+	}
+	if g := OneToOneGoodput(nic, 4096).Gigabits(); math.Abs(g-52.5) > 1.0 {
+		t.Errorf("4096 B goodput = %.1f, want ~52.5", g)
+	}
+}
+
+func TestOfferedWireRateUsesOverride(t *testing.T) {
+	fab := model.HWTestbed()
+	base := ConvergedConfig{Fabric: fab, NumBSGs: 1, BSGPayload: 256}
+	batched := ConvergedConfig{Fabric: fab, NumBSGs: 1, BSGPayload: 256, BSGMsgCost: fab.NIC.BatchedMessageCost}
+	if batched.OfferedWireRate() <= base.OfferedWireRate() {
+		t.Error("batched message cost must raise the offered rate")
+	}
+}

@@ -1,0 +1,168 @@
+// Package core implements RPerf, the paper's primary contribution (§IV): a
+// micro-benchmarking methodology that measures the latency of an IB switch
+// with sub-microsecond precision and without hardware support, by excluding
+// both remote-side and local-side end-point overheads.
+//
+// The three ideas, mapped onto this implementation:
+//
+//  1. Excluding remote-side processing: RPerf uses the post-poll pattern on
+//     RC SENDs. The remote RNIC hardware generates the ACK immediately on
+//     receipt — before the payload's PCIe delivery and without any remote
+//     software (rnic package, Fig. 1d semantics).
+//
+//  2. Excluding local-side processing: alongside every over-the-wire SEND,
+//     RPerf posts a loopback SEND of the same size on a second QP. The
+//     loopback completion time TL captures exactly the local posting, DMA
+//     fetch and NIC processing costs.
+//
+//  3. RTT = (TW - TP) - (TL - TP) = TW - TL   (paper Eq. 1).
+//
+// Timestamps come from the simulation clock, standing in for the paper's
+// calibrated rdtsc readings; what matters is that both completions are
+// timestamped by the same monotonic clock at CQE-visibility time, which the
+// RNIC model guarantees.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/rng"
+	"repro/internal/rnic"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Config parameterizes an RPerf measurement session.
+type Config struct {
+	// Payload is the SEND message size (the paper's LSG uses 64 B).
+	Payload units.ByteSize
+	// SL is the service level for the over-the-wire flow (the QoS
+	// experiments put latency-sensitive traffic on SL1).
+	SL ib.SL
+	// Warmup discards samples collected before this simulated time.
+	Warmup units.Time
+	// MaxSamples stops the session after this many recorded samples
+	// (0 = unlimited; the session then runs until the engine stops).
+	MaxSamples uint64
+	// Gap inserts idle time between iterations (0 = closed loop).
+	Gap units.Duration
+	// GapJitter adds a uniform random [0, GapJitter) pause between
+	// iterations, modeling the measurement loop's software bookkeeping
+	// (statistics recording, TSC reads). It does not bias RTT samples —
+	// each sample is still TW - TL — but it decorrelates the probe's
+	// arrival phase from periodic background traffic, which a fully
+	// deterministic closed loop would otherwise lock onto.
+	GapJitter units.Duration
+}
+
+// Session is a running RPerf instance pinned to one source RNIC,
+// equivalent to one RPerf thread pinned to a core in the paper.
+type Session struct {
+	cfg  Config
+	nic  *rnic.RNIC
+	rng  *rng.Source
+	wire *rnic.QP
+	loop *rnic.QP
+
+	rtt      *stats.Histogram
+	loopHist *stats.Histogram
+	samples  uint64
+	stopped  bool
+
+	// iteration state
+	tw, tl   units.Time
+	havePair int
+	postedAt units.Time
+}
+
+// New prepares an RPerf session from src toward dst. The over-the-wire QP
+// and loopback QP are pinned to distinct send engines so their processing
+// overlaps (paper §IV: the RNIC handles them in parallel, making TL an
+// unbiased estimate of the wire SEND's local-side share).
+func New(src *rnic.RNIC, dst ib.NodeID, cfg Config) (*Session, error) {
+	if cfg.Payload <= 0 {
+		return nil, fmt.Errorf("core: payload must be positive, got %d", cfg.Payload)
+	}
+	if dst == src.Node() {
+		return nil, fmt.Errorf("core: destination %d is the source itself", dst)
+	}
+	s := &Session{
+		cfg:      cfg,
+		nic:      src,
+		rng:      src.SplitRNG("rperf"),
+		rtt:      stats.NewHistogram(),
+		loopHist: stats.NewHistogram(),
+	}
+	s.wire = src.CreateQP(ib.RC, dst, cfg.SL, rnic.WithEngine(0))
+	s.loop = src.CreateQP(ib.RC, src.Node(), cfg.SL, rnic.WithEngine(1))
+	return s, nil
+}
+
+// Start begins the closed measurement loop. It returns immediately; the
+// loop advances as the simulation runs.
+func (s *Session) Start() { s.iterate() }
+
+// Stop ends the loop after the in-flight iteration.
+func (s *Session) Stop() { s.stopped = true }
+
+func (s *Session) iterate() {
+	if s.stopped {
+		return
+	}
+	s.havePair = 0
+	s.postedAt = s.now() // TP: captured before posting, like rdtsc before ibv_post_send
+	s.nic.PostSend(s.wire, ib.VerbSend, s.cfg.Payload, func(at units.Time) {
+		s.tw = at
+		s.finish()
+	})
+	s.nic.PostSend(s.loop, ib.VerbSend, s.cfg.Payload, func(at units.Time) {
+		s.tl = at
+		s.finish()
+	})
+}
+
+func (s *Session) finish() {
+	s.havePair++
+	if s.havePair < 2 {
+		return
+	}
+	// Paper Eq. 1: RTT = TW - TL. TP cancels.
+	rtt := s.tw.Sub(s.tl)
+	local := s.tl.Sub(s.postedAt)
+	if s.now() >= s.cfg.Warmup {
+		s.rtt.RecordDuration(rtt)
+		s.loopHist.RecordDuration(local)
+		s.samples++
+		if s.cfg.MaxSamples > 0 && s.samples >= s.cfg.MaxSamples {
+			s.stopped = true
+			return
+		}
+	}
+	gap := s.cfg.Gap
+	if s.cfg.GapJitter > 0 {
+		gap += units.Duration(s.rng.Uniform(0, float64(s.cfg.GapJitter)))
+	}
+	if gap > 0 {
+		s.nic.Engine().After(gap, "rperf:gap", func() { s.iterate() })
+		return
+	}
+	s.iterate()
+}
+
+func (s *Session) now() units.Time { return s.nic.Engine().Now() }
+
+// RTT returns the measured switch round-trip distribution (end-point
+// overheads excluded).
+func (s *Session) RTT() *stats.Histogram { return s.rtt }
+
+// LocalOverhead returns the distribution of TL - TP: the local-side
+// processing RPerf subtracts out. The paper uses it to demonstrate how
+// large the excluded bias is.
+func (s *Session) LocalOverhead() *stats.Histogram { return s.loopHist }
+
+// Samples reports recorded iterations.
+func (s *Session) Samples() uint64 { return s.samples }
+
+// Summary condenses the session's RTT distribution.
+func (s *Session) Summary() stats.Summary { return s.rtt.Summarize() }

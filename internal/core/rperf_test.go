@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func TestValidation(t *testing.T) {
+	c := topology.BackToBack(model.HWTestbed(), 1)
+	if _, err := core.New(c.NIC(0), 1, core.Config{Payload: 0}); err == nil {
+		t.Error("zero payload should fail")
+	}
+	if _, err := core.New(c.NIC(0), 0, core.Config{Payload: 64}); err == nil {
+		t.Error("self destination should fail")
+	}
+}
+
+func TestMaxSamplesStopsSession(t *testing.T) {
+	c := topology.BackToBack(model.HWTestbed(), 2)
+	s, err := core.New(c.NIC(0), 1, core.Config{Payload: 64, MaxSamples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	c.Eng.Run() // drains: the session stops itself
+	if s.Samples() != 50 {
+		t.Fatalf("samples = %d, want 50", s.Samples())
+	}
+	if s.RTT().Count() != 50 {
+		t.Fatalf("histogram count = %d", s.RTT().Count())
+	}
+}
+
+func TestWarmupDiscardsEarlySamples(t *testing.T) {
+	c := topology.BackToBack(model.HWTestbed(), 3)
+	warm := units.Time(0).Add(50 * units.Microsecond)
+	s, err := core.New(c.NIC(0), 1, core.Config{Payload: 64, Warmup: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	c.Eng.RunUntil(units.Time(100 * units.Microsecond))
+	s.Stop()
+	// Iterations take ~443 ns each (~225 in the run); half the run is
+	// warmup, so roughly half the iterations must be discarded.
+	n := s.Samples()
+	if n == 0 {
+		t.Fatal("no samples after warmup")
+	}
+	if n < 80 || n > 150 {
+		t.Fatalf("got %d samples; want ~112 (half of ~225 iterations)", n)
+	}
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	c := topology.BackToBack(model.HWTestbed(), 4)
+	s, _ := core.New(c.NIC(0), 1, core.Config{Payload: 64})
+	s.Start()
+	c.Eng.RunUntil(units.Time(20 * units.Microsecond))
+	s.Stop()
+	n := s.Samples()
+	c.Eng.RunUntil(units.Time(60 * units.Microsecond))
+	if got := s.Samples(); got > n+1 {
+		t.Fatalf("samples advanced after Stop: %d -> %d", n, got)
+	}
+}
+
+func TestGapSlowsIterationRate(t *testing.T) {
+	run := func(gap units.Duration) uint64 {
+		c := topology.BackToBack(model.HWTestbed(), 5)
+		s, _ := core.New(c.NIC(0), 1, core.Config{Payload: 64, Gap: gap})
+		s.Start()
+		c.Eng.RunUntil(units.Time(200 * units.Microsecond))
+		s.Stop()
+		return s.Samples()
+	}
+	fast := run(0)
+	slow := run(5 * units.Microsecond)
+	if slow*2 > fast {
+		t.Fatalf("gap did not slow the loop: %d vs %d", slow, fast)
+	}
+}
+
+func TestLocalOverheadMatchesLoopbackPath(t *testing.T) {
+	// TL - TP must equal the loopback path: MMIO + DMA fetch + engine +
+	// loopback serialization + CQE. This is the quantity RPerf subtracts.
+	par := model.HWTestbed()
+	par.NIC.JitterMean = 0
+	c := topology.BackToBack(par, 6)
+	s, _ := core.New(c.NIC(0), 1, core.Config{Payload: 64, MaxSamples: 10})
+	s.Start()
+	c.Eng.Run()
+	got := units.Duration(s.LocalOverhead().Median()).Nanoseconds()
+	nic := par.NIC
+	want := (nic.MMIOPost + nic.DMARead(64) +
+		units.Serialization(64+52, nic.LoopbackBandwidth) + nic.CQEDeliver).Nanoseconds()
+	if diff := got - want; diff > 1 || diff < -1 {
+		t.Fatalf("local overhead = %.1f ns, want %.1f", got, want)
+	}
+}
+
+func TestRTTExcludesLocalOverhead(t *testing.T) {
+	// The marquee property (paper Eq. 1): reported RTT is far below the
+	// raw completion time TW - TP, because the local side is subtracted.
+	c := topology.BackToBack(model.HWTestbed(), 7)
+	s, _ := core.New(c.NIC(0), 1, core.Config{Payload: 64, MaxSamples: 500})
+	s.Start()
+	c.Eng.Run()
+	rtt := s.RTT().Median()
+	local := s.LocalOverhead().Median()
+	if rtt >= local {
+		t.Fatalf("RTT %v should be well below the excluded local overhead %v", rtt, local)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := topology.BackToBack(model.HWTestbed(), 8)
+	s, _ := core.New(c.NIC(0), 1, core.Config{Payload: 64, MaxSamples: 100})
+	s.Start()
+	c.Eng.Run()
+	sum := s.Summary()
+	if sum.Count != 100 || sum.Median <= 0 || sum.P999 < sum.Median {
+		t.Fatalf("bad summary: %+v", sum)
+	}
+}

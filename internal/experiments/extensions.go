@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"repro/internal/ib"
+	"repro/internal/ibswitch"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// The paper closes by arguing "better mechanisms are needed to provide
+// performance isolation in a mixed traffic environment" (§IX) and sketches
+// two candidates it could not evaluate on its fixed-function switch:
+// a size-aware "fair" scheduling policy (§VIII-B) and per-SL/VL bandwidth
+// limits (§VIII-C). The two experiments below implement both and test them
+// against the paper's own failure cases.
+
+// ExtSPF evaluates the shortest-packet-first policy — an approximation of
+// the paper's proportional-fairness sketch — on the single-hop converged
+// setup (where RR already worked) and on the multi-hop topology (where RR
+// failed).
+func ExtSPF(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "ext-spf",
+		Title:   "Extension: shortest-packet-first vs FCFS/RR (LSG RTT us, total BSG Gb/s)",
+		Columns: []string{"topology", "policy", "lsg_p50_us", "lsg_p999_us", "bsg_total_gbps"},
+		Notes: []string{
+			"SPF approximates the paper's §VIII-B fairness sketch: service time proportional to flow size",
+			"single-hop: SPF protects the LSG like RR; multi-hop: it fails the same way (shared-link HOL)",
+		},
+	}
+	for _, topo := range []struct {
+		name string
+		t    Topology
+	}{{"single-hop", TopoStar}, {"multi-hop", TopoTwoTier}} {
+		for _, pol := range []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR, ibswitch.SPF} {
+			a, err := runAveraged(Scenario{
+				Fabric:   model.OMNeTSim(),
+				Topo:     topo.t,
+				Policy:   pol,
+				NumBSGs:  5,
+				BSGBytes: 4096,
+				LSG:      true,
+			}, opts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(topo.name, pol.String(), f2(a.MedianUs), f2(a.TailUs), f2(a.Total))
+		}
+	}
+	return t, nil
+}
+
+// ExtRateLimit evaluates the per-VL bandwidth cap against the QoS-gaming
+// attack of §VIII-C. The cap stops the pretend-LSG from stealing bandwidth
+// and restores the honest BSGs' shares. The real probe's median survives
+// because its small packets fit through throttle gaps the gamer's larger
+// batched messages cannot use — but its tail inflates several-fold, the
+// direction of the paper's warning; a bursty latency flow (deeper than the
+// bucket) would pay the full predicted penalty.
+func ExtRateLimit(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "ext-ratelimit",
+		Title:   "Extension: per-VL rate limit vs QoS gaming (Fig. 12/13 setup)",
+		Columns: []string{"vl1_cap", "real_lsg_p50_us", "real_lsg_p999_us", "pretend_gbps", "honest_bsg_gbps"},
+		Notes: []string{
+			"cap applies to VL1, the latency-sensitive lane the pretend-LSG abuses",
+			"the cap prevents the bandwidth theft; the real LSG's tail inflates (paper §VIII-C's warning), and bursts deeper than the bucket would pay more",
+		},
+	}
+	arb := ib.DedicatedVLArb()
+	for _, cap := range []units.Bandwidth{0, 10 * units.Gbps, 5 * units.Gbps} {
+		sc := Scenario{
+			Fabric: model.HWTestbed(), Topo: TopoStar,
+			Policy: ibswitch.VLArb, SL2VL: ib.DedicatedSL2VL(), VLArb: &arb,
+			NumBSGs: 4, BSGBytes: 4096, BSGSL: 0,
+			LSG: true, LSGSL: 1, Pretend: true,
+			VL1RateLimit: cap,
+		}
+		a, err := runAveraged(sc, opts)
+		if err != nil {
+			return nil, err
+		}
+		label := "none"
+		if cap > 0 {
+			label = cap.String()
+		}
+		var honest float64
+		for _, g := range a.BSGGbps {
+			honest += g
+		}
+		t.AddRow(label, f2(a.MedianUs), f2(a.TailUs), f2(a.Pretend), f2(honest))
+	}
+	return t, nil
+}

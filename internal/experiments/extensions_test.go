@@ -1,0 +1,62 @@
+package experiments
+
+import "testing"
+
+func TestExtSPFShape(t *testing.T) {
+	tbl, err := ExtSPF(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Single-hop: SPF must protect the LSG at least as well as RR and far
+	// better than FCFS, without hurting BSG totals.
+	fcfs := cell(t, tbl, 0, 2)
+	rr := cell(t, tbl, 1, 2)
+	spf := cell(t, tbl, 2, 2)
+	if spf > rr+0.5 {
+		t.Errorf("single-hop SPF median %.2f should be <= RR %.2f", spf, rr)
+	}
+	if spf > fcfs/5 {
+		t.Errorf("single-hop SPF %.2f should be far below FCFS %.2f", spf, fcfs)
+	}
+	bwFCFS, bwSPF := cell(t, tbl, 0, 4), cell(t, tbl, 2, 4)
+	if bwSPF < bwFCFS*0.95 {
+		t.Errorf("SPF cost bandwidth: %.1f vs %.1f", bwSPF, bwFCFS)
+	}
+	// Multi-hop: SPF fails like RR (microseconds, not sub-microsecond).
+	spfMulti := cell(t, tbl, 5, 2)
+	if spfMulti < 5 {
+		t.Errorf("multi-hop SPF median %.2f should remain high (shared-link HOL)", spfMulti)
+	}
+}
+
+func TestExtRateLimitShape(t *testing.T) {
+	tbl, err := ExtRateLimit(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	unlimPretend := cell(t, tbl, 0, 3)
+	capPretend := cell(t, tbl, 1, 3)
+	if capPretend > 11 {
+		t.Errorf("10 Gb/s cap leaked: pretend got %.1f Gb/s", capPretend)
+	}
+	if capPretend >= unlimPretend {
+		t.Errorf("cap did not reduce the gamer's share: %.1f vs %.1f", capPretend, unlimPretend)
+	}
+	unlimHonest := cell(t, tbl, 0, 4)
+	capHonest := cell(t, tbl, 1, 4)
+	if capHonest <= unlimHonest {
+		t.Errorf("honest BSGs should recover bandwidth under the cap: %.1f vs %.1f", capHonest, unlimHonest)
+	}
+	// The real LSG's tail inflates relative to the clean dedicated setup
+	// (~1.2 us in Fig. 12): the paper's warning, in the tail.
+	capTail := cell(t, tbl, 1, 2)
+	if capTail < 1.5 {
+		t.Errorf("capped-VL tail %.2f us unexpectedly low; expected inflation vs ~1.2", capTail)
+	}
+}

@@ -1,0 +1,452 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/ib"
+	"repro/internal/ibswitch"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/tools"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// rperfPoint runs an RPerf session over an otherwise idle fabric and
+// returns the averaged median and tail RTT in nanoseconds.
+func rperfPoint(topo Topology, fab model.FabricParams, payload units.ByteSize, opts Options) (medNs, tailNs float64, err error) {
+	var meds, tails []float64
+	for _, seed := range opts.Seeds {
+		var c *topology.Cluster
+		var dst ib.NodeID
+		switch topo {
+		case TopoBackToBack:
+			c = topology.BackToBack(fab, seed)
+			dst = 1
+		default:
+			c = topology.Star(fab, 7, seed)
+			dst = 6
+		}
+		s, err := core.New(c.NIC(0), dst, core.Config{
+			Payload: payload,
+			Warmup:  opts.start(),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		s.Start()
+		c.Eng.RunUntil(opts.end())
+		sum := s.Summary()
+		meds = append(meds, sum.Median.Nanoseconds())
+		tails = append(tails, sum.P999.Nanoseconds())
+	}
+	return stats.Mean(meds), stats.Mean(tails), nil
+}
+
+// Fig4 regenerates Figure 4: RPerf RTT for different payload sizes, with
+// and without the switch, median and 99.9th percentile.
+func Fig4(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig4",
+		Title:   "RPerf RTT vs payload, with and without the switch (ns)",
+		Columns: []string{"payload_B", "p50_noswitch_ns", "p999_noswitch_ns", "p50_switch_ns", "p999_switch_ns"},
+	}
+	for _, p := range PayloadSweep {
+		m0, t0, err := rperfPoint(TopoBackToBack, model.HWTestbed(), p, opts)
+		if err != nil {
+			return nil, err
+		}
+		m1, t1, err := rperfPoint(TopoStar, model.HWTestbed(), p, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(p), f1(m0), f1(t0), f1(m1), f1(t1))
+	}
+	return t, nil
+}
+
+// Fig5 regenerates Figure 5: one-to-one BSG bandwidth vs payload, with and
+// without the switch.
+func Fig5(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "One-to-one bandwidth vs payload (Gb/s)",
+		Columns: []string{"payload_B", "noswitch_gbps", "switch_gbps"},
+	}
+	for _, p := range PayloadSweep {
+		row := []string{fmt.Sprint(p)}
+		for _, topo := range []Topology{TopoBackToBack, TopoStar} {
+			a, err := runAveraged(Scenario{
+				Fabric:   model.HWTestbed(),
+				Topo:     topo,
+				NumBSGs:  1,
+				BSGBytes: p,
+			}, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(a.Total))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig6 regenerates Figure 6: end-to-end RTT reported by Perftest (median +
+// tail) and Qperf (mean only) through the switch.
+func Fig6(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Perftest and Qperf end-to-end RTT through the switch (us)",
+		Columns: []string{"payload_B", "perftest_p50_us", "perftest_p999_us", "qperf_mean_us"},
+		Notes:   []string{"qperf does not report tail latency (paper §III)"},
+	}
+	for _, p := range PayloadSweep {
+		var pm, pt, qm []float64
+		for _, seed := range opts.Seeds {
+			c := topology.Star(model.HWTestbed(), 7, seed)
+			client := host.New(c.NIC(0), c.Params.Host)
+			server := host.New(c.NIC(6), c.Params.Host)
+			pf, err := tools.NewPerftest(client, server, p, opts.start())
+			if err != nil {
+				return nil, err
+			}
+			client2 := host.New(c.NIC(1), c.Params.Host)
+			qp, err := tools.NewQperf(client2, server, p, opts.start())
+			if err != nil {
+				return nil, err
+			}
+			pf.Start()
+			qp.Start()
+			c.Eng.RunUntil(opts.end())
+			pm = append(pm, units.Duration(pf.RTT().Median()).Microseconds())
+			pt = append(pt, units.Duration(pf.RTT().P999()).Microseconds())
+			qm = append(qm, qp.MeanRTT().Microseconds())
+		}
+		t.AddRow(fmt.Sprint(p), f2(stats.Mean(pm)), f2(stats.Mean(pt)), f2(stats.Mean(qm)))
+	}
+	return t, nil
+}
+
+// Fig7a regenerates Figure 7a: LSG RTT vs the number of 4096 B BSGs on the
+// hardware profile.
+func Fig7a(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig7a",
+		Title:   "Converged traffic: LSG RTT vs number of BSGs (us)",
+		Columns: []string{"num_bsgs", "p50_us", "p999_us"},
+	}
+	for n := 0; n <= 5; n++ {
+		a, err := runAveraged(Scenario{
+			Fabric:   model.HWTestbed(),
+			Topo:     TopoStar,
+			NumBSGs:  n,
+			BSGBytes: 4096,
+			LSG:      true,
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(n), f2(a.MedianUs), f2(a.TailUs))
+	}
+	return t, nil
+}
+
+// Fig7b regenerates Figure 7b: total BSG bandwidth vs the number of BSGs.
+func Fig7b(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig7b",
+		Title:   "Converged traffic: total BSG bandwidth vs number of BSGs (Gb/s)",
+		Columns: []string{"num_bsgs", "total_gbps", "per_bsg_min", "per_bsg_max"},
+	}
+	for n := 1; n <= 5; n++ {
+		a, err := runAveraged(Scenario{
+			Fabric:   model.HWTestbed(),
+			Topo:     TopoStar,
+			NumBSGs:  n,
+			BSGBytes: 4096,
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		mn, mx := minMax(a.BSGGbps)
+		t.AddRow(fmt.Sprint(n), f2(a.Total), f2(mn), f2(mx))
+	}
+	return t, nil
+}
+
+// Fig8 regenerates Figure 8: LSG RTT as five BSGs sweep their payload size.
+func Fig8(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "LSG RTT vs BSG payload size, five BSGs (us)",
+		Columns: []string{"bsg_payload_B", "p50_us", "p999_us"},
+	}
+	for _, p := range PayloadSweep {
+		a, err := runAveraged(Scenario{
+			Fabric:   model.HWTestbed(),
+			Topo:     TopoStar,
+			NumBSGs:  5,
+			BSGBytes: p,
+			LSG:      true,
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(p), f2(a.MedianUs), f2(a.TailUs))
+	}
+	return t, nil
+}
+
+// Fig9 regenerates Figure 9: total BSG bandwidth across the same sweep.
+func Fig9(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Total BSG bandwidth vs BSG payload size, five BSGs (Gb/s)",
+		Columns: []string{"bsg_payload_B", "total_gbps", "link_pct"},
+	}
+	for _, p := range PayloadSweep {
+		a, err := runAveraged(Scenario{
+			Fabric:   model.HWTestbed(),
+			Topo:     TopoStar,
+			NumBSGs:  5,
+			BSGBytes: p,
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(p), f2(a.Total), f1(a.Total/56*100))
+	}
+	return t, nil
+}
+
+// Eq2 regenerates the paper's Equation 2 discussion (§VIII-B): the
+// waiting-time bound versus the frozen-occupancy prediction versus the
+// simulator's measurement, per BSG count.
+func Eq2(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "eq2",
+		Title:   "LSG waiting time: paper Eq.2 bound vs frozen-occupancy model vs simulation (us)",
+		Columns: []string{"num_bsgs", "eq2_us", "model_us", "simulated_us"},
+		Notes: []string{
+			"eq2 assumes permanently full buffers; the paper itself measures below it (§VIII-B)",
+			"simulated = median LSG RTT minus the ~0.43 us zero-load RTT, OMNeT profile",
+		},
+	}
+	fab := model.OMNeTSim()
+	for n := 1; n <= 5; n++ {
+		eq2 := analytic.Eq2Wait(n, fab.Switch.VLWindow, fab.Link.Bandwidth)
+		cfg := analytic.ConvergedConfig{Fabric: fab, NumBSGs: n, BSGPayload: 4096}
+		pred := cfg.PredictLSGWait()
+		a, err := runAveraged(Scenario{
+			Fabric:   fab,
+			Topo:     TopoStar,
+			NumBSGs:  n,
+			BSGBytes: 4096,
+			LSG:      true,
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		sim := a.MedianUs - 0.43
+		if sim < 0 {
+			sim = 0
+		}
+		t.AddRow(fmt.Sprint(n), f2(eq2.Microseconds()), f2(pred.Microseconds()), f2(sim))
+	}
+	return t, nil
+}
+
+// Fig10 regenerates Figure 10: LSG RTT vs BSG count in the OMNeT-style
+// simulator profile under FCFS and RR scheduling.
+func Fig10(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Simulator profile: LSG RTT vs number of BSGs, FCFS vs RR (us)",
+		Columns: []string{"num_bsgs", "fcfs_p50_us", "fcfs_p999_us", "rr_p50_us", "rr_p999_us"},
+	}
+	for n := 0; n <= 5; n++ {
+		row := []string{fmt.Sprint(n)}
+		for _, pol := range []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR} {
+			a, err := runAveraged(Scenario{
+				Fabric:   model.OMNeTSim(),
+				Topo:     TopoStar,
+				Policy:   pol,
+				NumBSGs:  n,
+				BSGBytes: 4096,
+				LSG:      true,
+			}, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(a.MedianUs), f2(a.TailUs))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig11 regenerates Figure 11: the multi-hop topology (two switches) under
+// FCFS and RR.
+func Fig11(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Multi-hop (two switches): LSG RTT under FCFS and RR (us)",
+		Columns: []string{"policy", "p50_us", "p999_us"},
+		Notes: []string{
+			"LSG shares the inter-switch link with two BSGs: RR no longer protects it (head-of-line blocking, §VIII-B)",
+		},
+	}
+	for _, pol := range []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR} {
+		a, err := runAveraged(Scenario{
+			Fabric:   model.OMNeTSim(),
+			Topo:     TopoTwoTier,
+			Policy:   pol,
+			NumBSGs:  5,
+			BSGBytes: 4096,
+			LSG:      true,
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pol.String(), f2(a.MedianUs), f2(a.TailUs))
+	}
+	return t, nil
+}
+
+// Fig12 regenerates Figure 12: the real LSG's RTT under the four QoS
+// setups of §VIII-C.
+func Fig12(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "QoS: real-LSG RTT in different SL/VL setups (us)",
+		Columns: []string{"setup", "p50_us", "p999_us"},
+	}
+	for _, s := range fig12Setups() {
+		a, err := runAveraged(s.scenario, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.name, f2(a.MedianUs), f2(a.TailUs))
+	}
+	return t, nil
+}
+
+// Fig13 regenerates Figure 13: per-BSG bandwidth under the gamed dedicated-
+// SL setup versus the shared-SL baseline.
+func Fig13(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "QoS gaming: per-BSG bandwidth (Gb/s)",
+		Columns: []string{"setup", "bsg1", "bsg2", "bsg3", "bsg4", "bsg5/pretend", "total"},
+		Notes: []string{
+			"in 'dedicated+pretend' the fifth source is the pretend LSG on the latency SL (256 B, batched)",
+		},
+	}
+	ded := fig12Setups()[3].scenario // dedicated SL + pretend LSG
+	a, err := runAveraged(ded, opts)
+	if err != nil {
+		return nil, err
+	}
+	row := []string{"dedicated+pretend"}
+	for _, g := range a.BSGGbps {
+		row = append(row, f2(g))
+	}
+	row = append(row, f2(a.Pretend), f2(a.Total))
+	t.Rows = append(t.Rows, row)
+
+	shared, err := runAveraged(Scenario{
+		Fabric:   model.HWTestbed(),
+		Topo:     TopoStar,
+		NumBSGs:  5,
+		BSGBytes: 4096,
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	row = []string{"shared SL"}
+	for _, g := range shared.BSGGbps {
+		row = append(row, f2(g))
+	}
+	row = append(row, f2(shared.Total))
+	t.Rows = append(t.Rows, row)
+	return t, nil
+}
+
+type namedScenario struct {
+	name     string
+	scenario Scenario
+}
+
+// fig12Setups returns the four columns of Figure 12 in paper order.
+func fig12Setups() []namedScenario {
+	arb := ib.DedicatedVLArb()
+	return []namedScenario{
+		{"no BSGs", Scenario{
+			Fabric: model.HWTestbed(), Topo: TopoStar, LSG: true,
+		}},
+		{"shared SL", Scenario{
+			Fabric: model.HWTestbed(), Topo: TopoStar,
+			NumBSGs: 5, BSGBytes: 4096, LSG: true,
+		}},
+		{"dedicated SL", Scenario{
+			Fabric: model.HWTestbed(), Topo: TopoStar,
+			Policy: ibswitch.VLArb, SL2VL: ib.DedicatedSL2VL(), VLArb: &arb,
+			NumBSGs: 5, BSGBytes: 4096, BSGSL: 0, LSG: true, LSGSL: 1,
+		}},
+		{"dedicated SL + pretend LSG", Scenario{
+			Fabric: model.HWTestbed(), Topo: TopoStar,
+			Policy: ibswitch.VLArb, SL2VL: ib.DedicatedSL2VL(), VLArb: &arb,
+			NumBSGs: 4, BSGBytes: 4096, BSGSL: 0, LSG: true, LSGSL: 1,
+			Pretend: true,
+		}},
+	}
+}
+
+// All runs every experiment and returns the tables in paper order.
+func All(opts Options) ([]*Table, error) {
+	runners := []func(Options) (*Table, error){
+		Fig4, Fig5, Fig6, Fig7a, Fig7b, Fig8, Fig9, Eq2, Fig10, Fig11, Fig12, Fig13,
+	}
+	var out []*Table
+	for _, r := range runners {
+		tbl, err := r(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// ByID returns the runner for an experiment id ("fig4" ... "fig13", "eq2").
+func ByID(id string) (func(Options) (*Table, error), bool) {
+	m := map[string]func(Options) (*Table, error){
+		"fig4": Fig4, "fig5": Fig5, "fig6": Fig6,
+		"fig7a": Fig7a, "fig7b": Fig7b,
+		"fig8": Fig8, "fig9": Fig9, "eq2": Eq2,
+		"fig10": Fig10, "fig11": Fig11, "fig12": Fig12, "fig13": Fig13,
+		"ext-spf": ExtSPF, "ext-ratelimit": ExtRateLimit,
+	}
+	f, ok := m[id]
+	return f, ok
+}
+
+func minMax(xs []float64) (mn, mx float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mn, mx = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}

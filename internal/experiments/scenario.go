@@ -1,0 +1,241 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI-§VIII). Each Fig* function runs the corresponding
+// scenario across several seeds (the paper averages three runs) and
+// returns both structured rows and a formatted table.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/ibswitch"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// Options control experiment length and repetition.
+type Options struct {
+	// Measure is the measurement window after warmup.
+	Measure units.Duration
+	// Warmup precedes the measurement window; generators run but samples
+	// are discarded.
+	Warmup units.Duration
+	// Seeds are the runs to average (the paper runs each test three
+	// times).
+	Seeds []uint64
+}
+
+// DefaultOptions mirror the paper's protocol scaled to simulation time:
+// long enough that converged-scenario histograms hold thousands of samples.
+func DefaultOptions() Options {
+	return Options{
+		Measure: 12 * units.Millisecond,
+		Warmup:  3 * units.Millisecond,
+		Seeds:   []uint64{1, 2, 3},
+	}
+}
+
+// Quick returns short options for smoke tests.
+func Quick() Options {
+	return Options{
+		Measure: 3 * units.Millisecond,
+		Warmup:  1 * units.Millisecond,
+		Seeds:   []uint64{1},
+	}
+}
+
+func (o Options) end() units.Time   { return units.Time(0).Add(o.Warmup + o.Measure) }
+func (o Options) start() units.Time { return units.Time(0).Add(o.Warmup) }
+
+// Topology selects the fabric shape for a scenario.
+type Topology int
+
+// Topologies.
+const (
+	TopoBackToBack Topology = iota
+	TopoStar
+	TopoTwoTier
+)
+
+// Scenario describes one converged-traffic run. The zero value plus a
+// Fabric is a valid "LSG only through the switch" scenario.
+type Scenario struct {
+	Fabric   model.FabricParams
+	Topo     Topology
+	Policy   ibswitch.Policy
+	SL2VL    ib.SL2VL
+	VLArb    *ib.VLArbConfig
+	NumBSGs  int
+	BSGBytes units.ByteSize
+	// BSGCost overrides the BSG per-message engine cost (batching).
+	BSGCost units.Duration
+	// BSGSL is the service level of the bulk flows.
+	BSGSL ib.SL
+	// LSG enables the latency probe.
+	LSG bool
+	// LSGSL is the probe's service level.
+	LSGSL ib.SL
+	// Pretend adds a gaming BSG (256 B, batched) on the LSG's SL.
+	Pretend bool
+	// VL1RateLimit caps VL1's switch bandwidth (0 = unlimited). Used by
+	// the rate-limit extension experiment.
+	VL1RateLimit units.Bandwidth
+}
+
+// Result carries the measured outputs of one scenario run.
+type Result struct {
+	LSG      stats.Summary
+	LSGHist  *stats.Histogram
+	BSGGbps  []float64 // per-BSG goodput, source order
+	Pretend  float64   // pretend-LSG goodput (Gb/s), if enabled
+	Total    float64   // total bulk goodput including the pretend flow
+	Duration units.Duration
+}
+
+// Run executes the scenario once with the given seed.
+func Run(sc Scenario, opts Options, seed uint64) (Result, error) {
+	var c *topology.Cluster
+	switch sc.Topo {
+	case TopoBackToBack:
+		c = topology.BackToBack(sc.Fabric, seed)
+	case TopoStar:
+		c = topology.Star(sc.Fabric, 7, seed)
+	case TopoTwoTier:
+		// §VIII-B: LSG and two BSGs upstream, three BSGs and the
+		// destination downstream.
+		c = topology.TwoTier(sc.Fabric, 3, 4, seed)
+	default:
+		return Result{}, fmt.Errorf("experiments: unknown topology %d", sc.Topo)
+	}
+	c.SetPolicy(sc.Policy)
+	c.SetSL2VL(sc.SL2VL)
+	if sc.VLArb != nil {
+		if err := c.SetVLArb(*sc.VLArb); err != nil {
+			return Result{}, err
+		}
+	}
+	if sc.VL1RateLimit > 0 {
+		// Allow a burst of a few latency-sized messages so an idle VL1
+		// still serves a real LSG promptly.
+		c.SetVLRateLimit(1, sc.VL1RateLimit, 4*(256+ib.MaxHeaderBytes))
+	}
+
+	dst, lsgSrc, bsgSrcs := placement(sc, c)
+
+	var bsgs []*traffic.BSG
+	for i := 0; i < sc.NumBSGs; i++ {
+		b, err := traffic.NewBSG(c.NIC(bsgSrcs[i]), c.NIC(dst), traffic.BSGConfig{
+			Payload: sc.BSGBytes,
+			SL:      sc.BSGSL,
+			MsgCost: sc.BSGCost,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		bsgs = append(bsgs, b)
+		b.Start(opts.start())
+	}
+	var pretend *traffic.BSG
+	if sc.Pretend {
+		// The pretend LSG replaces the last BSG source slot.
+		src := bsgSrcs[sc.NumBSGs]
+		p, err := traffic.NewPretendLSG(c.NIC(src), c.NIC(dst), sc.LSGSL)
+		if err != nil {
+			return Result{}, err
+		}
+		pretend = p
+		p.Start(opts.start())
+	}
+	var lsg *traffic.LSG
+	if sc.LSG {
+		l, err := traffic.NewLSG(c.NIC(lsgSrc), ib.NodeID(dst), traffic.LSGConfig{
+			SL:     sc.LSGSL,
+			Warmup: opts.start(),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		lsg = l
+		l.Start()
+	}
+
+	end := opts.end()
+	c.Eng.RunUntil(end)
+
+	res := Result{Duration: opts.Measure}
+	for _, b := range bsgs {
+		b.CloseAt(end)
+		g := b.Goodput().Gigabits()
+		res.BSGGbps = append(res.BSGGbps, g)
+		res.Total += g
+	}
+	if pretend != nil {
+		pretend.CloseAt(end)
+		res.Pretend = pretend.Goodput().Gigabits()
+		res.Total += res.Pretend
+	}
+	if lsg != nil {
+		res.LSGHist = lsg.RTT()
+		res.LSG = lsg.RTT().Summarize()
+	}
+	return res, nil
+}
+
+// placement maps scenario roles onto cluster nodes.
+func placement(sc Scenario, c *topology.Cluster) (dst, lsgSrc int, bsgSrcs []int) {
+	switch sc.Topo {
+	case TopoBackToBack:
+		return 1, 0, []int{0}
+	case TopoTwoTier:
+		// Upstream: nodes 0,1 are BSGs, node 2 is the LSG. Downstream:
+		// nodes 3,4,5 are BSGs, node 6 is the destination.
+		return 6, 2, []int{0, 1, 3, 4, 5}
+	default: // TopoStar: paper's 7-node rack, node 6 is the destination
+		return 6, 5, []int{0, 1, 2, 3, 4}
+	}
+}
+
+// averaged runs a scenario across all seeds and averages the statistics.
+type averaged struct {
+	MedianUs, TailUs float64
+	BSGGbps          []float64
+	Pretend          float64
+	Total            float64
+	Samples          uint64
+}
+
+func runAveraged(sc Scenario, opts Options) (averaged, error) {
+	var out averaged
+	var meds, tails, pretends, totals []float64
+	perBSG := map[int][]float64{}
+	for _, seed := range opts.Seeds {
+		r, err := Run(sc, opts, seed)
+		if err != nil {
+			return averaged{}, err
+		}
+		if sc.LSG {
+			meds = append(meds, r.LSG.Median.Microseconds())
+			tails = append(tails, r.LSG.P999.Microseconds())
+			out.Samples += r.LSG.Count
+		}
+		for i, g := range r.BSGGbps {
+			perBSG[i] = append(perBSG[i], g)
+		}
+		pretends = append(pretends, r.Pretend)
+		totals = append(totals, r.Total)
+	}
+	out.MedianUs = stats.Mean(meds)
+	out.TailUs = stats.Mean(tails)
+	out.Pretend = stats.Mean(pretends)
+	out.Total = stats.Mean(totals)
+	for i := 0; i < len(perBSG); i++ {
+		out.BSGGbps = append(out.BSGGbps, stats.Mean(perBSG[i]))
+	}
+	return out, nil
+}
+
+// PayloadSweep is the payload series of Figures 4, 5, 6, 8 and 9.
+var PayloadSweep = []units.ByteSize{64, 128, 256, 512, 1024, 2048, 4096}

@@ -1,0 +1,52 @@
+// Package host models the server software layer above the RNIC: completion
+// queue polling, data polling, response construction, and the scheduling
+// noise that afflicts all of them. It is what the baseline measurement
+// tools (package tools) run on — and precisely the layer whose delays
+// RPerf's design removes from the measurement (paper §III).
+package host
+
+import (
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/rnic"
+	"repro/internal/units"
+)
+
+// Host couples an RNIC with host software characteristics.
+type Host struct {
+	NIC *rnic.RNIC
+	par model.HostParams
+	rng *rng.Source
+}
+
+// New builds a host around an RNIC.
+func New(nic *rnic.RNIC, par model.HostParams) *Host {
+	return &Host{NIC: nic, par: par, rng: nic.SplitRNG("host")}
+}
+
+// Params returns the host software parameters.
+func (h *Host) Params() model.HostParams { return h.par }
+
+// Jitter draws one sample of software scheduling noise.
+func (h *Host) Jitter() units.Duration {
+	if h.par.JitterMean <= 0 {
+		return 0
+	}
+	return units.Duration(h.rng.Exp(float64(h.par.JitterMean)))
+}
+
+// PollDelay is the time for the CQ polling loop to notice a CQE, including
+// one draw of scheduling noise.
+func (h *Host) PollDelay() units.Duration { return h.par.PollDetect + h.Jitter() }
+
+// MemPollDelay is the time for a data-polling loop to notice payload bytes
+// landing in host memory (the Qperf server style).
+func (h *Host) MemPollDelay() units.Duration { return h.par.MemPollDetect + h.Jitter() }
+
+// TurnaroundDelay is the software time to construct and post a response
+// (the Perftest server's pong path).
+func (h *Host) TurnaroundDelay() units.Duration { return h.par.SoftwareTurnaround + h.Jitter() }
+
+// LoopOverhead is the per-iteration measurement-loop cost of a tool that
+// timestamps around syscalls rather than with raw TSC reads.
+func (h *Host) LoopOverhead() units.Duration { return h.par.LoopOverhead }

@@ -1,0 +1,77 @@
+package host_test
+
+import (
+	"testing"
+
+	"repro/internal/host"
+	"repro/internal/model"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func newHost(t *testing.T) *host.Host {
+	t.Helper()
+	c := topology.BackToBack(model.HWTestbed(), 1)
+	return host.New(c.NIC(0), c.Params.Host)
+}
+
+func TestDelaysIncludeBaseComponents(t *testing.T) {
+	h := newHost(t)
+	p := h.Params()
+	for i := 0; i < 1000; i++ {
+		if d := h.PollDelay(); d < p.PollDetect {
+			t.Fatalf("poll delay %v below base %v", d, p.PollDetect)
+		}
+		if d := h.MemPollDelay(); d < p.MemPollDetect {
+			t.Fatalf("mem poll delay %v below base %v", d, p.MemPollDetect)
+		}
+		if d := h.TurnaroundDelay(); d < p.SoftwareTurnaround {
+			t.Fatalf("turnaround %v below base %v", d, p.SoftwareTurnaround)
+		}
+	}
+}
+
+func TestJitterMeanApproximatesConfig(t *testing.T) {
+	h := newHost(t)
+	var sum units.Duration
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += h.Jitter()
+	}
+	mean := float64(sum) / n
+	want := float64(h.Params().JitterMean)
+	if mean < 0.9*want || mean > 1.1*want {
+		t.Fatalf("jitter mean = %.0f ps, want ~%.0f", mean, want)
+	}
+}
+
+func TestZeroJitterConfig(t *testing.T) {
+	c := topology.BackToBack(model.HWTestbed(), 2)
+	par := c.Params.Host
+	par.JitterMean = 0
+	h := host.New(c.NIC(0), par)
+	if h.Jitter() != 0 {
+		t.Fatal("zero-mean jitter should be exactly zero")
+	}
+	if h.PollDelay() != par.PollDetect {
+		t.Fatal("poll delay should be deterministic without jitter")
+	}
+}
+
+func TestLoopOverheadPassthrough(t *testing.T) {
+	h := newHost(t)
+	if h.LoopOverhead() != h.Params().LoopOverhead {
+		t.Fatal("loop overhead mismatch")
+	}
+}
+
+func TestHostsOnSameNICShareDeterministicStream(t *testing.T) {
+	mk := func() units.Duration {
+		c := topology.BackToBack(model.HWTestbed(), 3)
+		h := host.New(c.NIC(0), c.Params.Host)
+		return h.Jitter()
+	}
+	if mk() != mk() {
+		t.Fatal("host jitter stream not reproducible across identical runs")
+	}
+}

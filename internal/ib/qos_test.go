@@ -1,0 +1,75 @@
+package ib
+
+import "testing"
+
+func TestDefaultSL2VL(t *testing.T) {
+	m := DefaultSL2VL()
+	for sl := SL(0); sl <= MaxSL; sl++ {
+		if m.Map(sl) != 0 {
+			t.Fatalf("default SL2VL should map everything to VL0, got SL%d->VL%d", sl, m.Map(sl))
+		}
+	}
+}
+
+func TestDedicatedSL2VL(t *testing.T) {
+	m := DedicatedSL2VL()
+	if m.Map(0) != 0 {
+		t.Error("SL0 should map to VL0")
+	}
+	if m.Map(1) != 1 {
+		t.Error("SL1 should map to VL1")
+	}
+	if m.Map(5) != 0 {
+		t.Error("unconfigured SLs should map to VL0")
+	}
+}
+
+func TestSL2VLClampsOutOfRange(t *testing.T) {
+	m := DedicatedSL2VL()
+	if m.Map(SL(200)) != m.Map(MaxSL) {
+		t.Error("out-of-range SL should clamp")
+	}
+}
+
+func TestWeightUnits(t *testing.T) {
+	if WeightUnits(1) != 64 || WeightUnits(255) != 16320 {
+		t.Fatal("weight conversion wrong")
+	}
+}
+
+func TestVLArbValidate(t *testing.T) {
+	if err := SingleVLArb().Validate(); err != nil {
+		t.Fatalf("SingleVLArb invalid: %v", err)
+	}
+	if err := DedicatedVLArb().Validate(); err != nil {
+		t.Fatalf("DedicatedVLArb invalid: %v", err)
+	}
+	bad := VLArbConfig{Low: []VLArbEntry{{VL: 20, Weight: 64}}}
+	if bad.Validate() == nil {
+		t.Error("VL out of range should fail validation")
+	}
+	bad = VLArbConfig{Low: []VLArbEntry{{VL: 0, Weight: 0}}}
+	if bad.Validate() == nil {
+		t.Error("zero weight should fail validation")
+	}
+	bad = VLArbConfig{Low: []VLArbEntry{{VL: 0, Weight: 64}, {VL: 0, Weight: 64}}}
+	if bad.Validate() == nil {
+		t.Error("duplicate VL should fail validation")
+	}
+	bad = VLArbConfig{High: []VLArbEntry{{VL: 1, Weight: 64}}}
+	if bad.Validate() == nil {
+		t.Error("high table without HighLimit should fail validation")
+	}
+}
+
+func TestDedicatedVLArbShareMatchesCalibration(t *testing.T) {
+	// The pretend-LSG calibration (DESIGN.md) needs VL1's maximum wire
+	// share to be ~46%: H/(H+L).
+	c := DedicatedVLArb()
+	h := float64(c.High[0].Weight)
+	l := float64(c.Low[0].Weight)
+	share := h / (h + l)
+	if share < 0.44 || share < 0.40 || share > 0.48 {
+		t.Fatalf("VL1 share = %.3f, want ~0.46", share)
+	}
+}

@@ -1,0 +1,569 @@
+// Package ibswitch models the input-buffered InfiniBand switch at the
+// center of the paper's testbed (Mellanox SX6012) and of its OMNeT++
+// simulator — both are the same model under different parameter profiles
+// (see package model).
+//
+// Architecture (paper §VIII-B): each input port has dedicated per-VL
+// buffering guarded by credit flow control; an arbiter at each egress port
+// selects among the input-port queue heads. Forwarding is cut-through: a
+// packet may begin leaving BaseLatency after its first bit arrived. The
+// scheduling policy is pluggable — FCFS (what the paper concludes the real
+// switch implements), Round-Robin, and IB VL arbitration (weighted
+// high/low-priority tables) for the QoS experiments.
+package ibswitch
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/link"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Policy selects the packet scheduling discipline at egress ports.
+type Policy int
+
+// Scheduling policies.
+const (
+	// FCFS serves the packet that arrived at the switch earliest — the
+	// policy the paper infers the SX6012 implements (§VIII-B).
+	FCFS Policy = iota
+	// RR round-robins over input ports.
+	RR
+	// VLArb applies the IB VL arbitration tables (high-priority table
+	// first, deficit-weighted), with FCFS among ports inside a VL. Used
+	// by the QoS experiments (§VIII-C).
+	VLArb
+	// SPF (shortest packet first) is an extension beyond the paper: it
+	// approximates the "fair" policy the paper sketches in §VIII-B — time
+	// spent in the switch proportional to flow size — by serving the
+	// smallest eligible packet, breaking ties FCFS. The extension
+	// experiments show it protects small-message flows without QoS
+	// configuration, but inherits RR's multi-hop failure and adds a
+	// starvation risk for bulk flows under small-packet floods.
+	SPF
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "FCFS"
+	case RR:
+		return "RR"
+	case VLArb:
+		return "VLArb"
+	case SPF:
+		return "SPF"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// queuedPacket is one entry in an input-port VL queue.
+type queuedPacket struct {
+	pkt     *ib.Packet
+	arrival units.Time // first bit at ingress: the FCFS key
+	ready   units.Time // arrival + base latency + jitter: cut-through gate
+	size    units.ByteSize
+	outPort int
+}
+
+// Port is one switch port: an ingress side (buffers + credit gate) and an
+// egress side (arbiter state + wire to the attached device).
+type Port struct {
+	sw  *Switch
+	idx int
+
+	// Ingress.
+	gate   *link.BufferGate
+	queues [ib.NumVLs][]queuedPacket
+	qbytes [ib.NumVLs]units.ByteSize
+
+	// Egress.
+	wire         *link.Wire
+	prop         units.Duration
+	egressFreeAt units.Time
+	scheduled    *sim.Event // the single pending pick, if any
+	rrNext       int
+	arb          vlarbState
+}
+
+type vlarbState struct {
+	tokens [ib.NumVLs]int64
+	inited bool
+}
+
+// Switch is the device model.
+type Switch struct {
+	eng    *sim.Engine
+	par    model.SwitchParams
+	jitter *rng.Source
+	sl2vl  ib.SL2VL
+	policy Policy
+	vlarb  ib.VLArbConfig
+	ports  []*Port
+	routes map[ib.NodeID]int
+	limits [ib.NumVLs]*tokenBucket
+	name   string
+
+	// ForwardedPackets counts data/ack packets forwarded, for tests.
+	ForwardedPackets uint64
+	// OnForward, when set, observes every forwarded packet with its
+	// ingress arrival and egress start times (diagnostics).
+	OnForward func(pkt *ib.Packet, arrival, egressStart units.Time)
+}
+
+// New builds a switch with n ports. The jitter source must be dedicated to
+// this switch for reproducibility.
+func New(eng *sim.Engine, name string, par model.SwitchParams, nPorts int, jitter *rng.Source) *Switch {
+	sw := &Switch{
+		eng:    eng,
+		par:    par,
+		jitter: jitter,
+		sl2vl:  ib.DefaultSL2VL(),
+		policy: FCFS,
+		vlarb:  ib.SingleVLArb(),
+		routes: make(map[ib.NodeID]int),
+		name:   name,
+	}
+	for i := 0; i < nPorts; i++ {
+		p := &Port{sw: sw, idx: i}
+		p.gate = link.NewBufferGate(eng, par.CreditReturnDelay, par.WindowFor)
+		sw.ports = append(sw.ports, p)
+	}
+	return sw
+}
+
+// Name returns the switch's diagnostic name.
+func (sw *Switch) Name() string { return sw.name }
+
+// Port returns port i.
+func (sw *Switch) Port(i int) *Port { return sw.ports[i] }
+
+// NumPorts returns the port count.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// SetPolicy selects the egress scheduling policy.
+func (sw *Switch) SetPolicy(p Policy) { sw.policy = p }
+
+// SetSL2VL installs the SL-to-VL mapping table.
+func (sw *Switch) SetSL2VL(t ib.SL2VL) { sw.sl2vl = t }
+
+// SetVLArb installs the VL arbitration tables (used when the policy is
+// VLArb).
+func (sw *Switch) SetVLArb(cfg ib.VLArbConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	sw.vlarb = cfg
+	return nil
+}
+
+// SetRoute directs traffic for node via port.
+func (sw *Switch) SetRoute(node ib.NodeID, port int) {
+	if port < 0 || port >= len(sw.ports) {
+		panic(fmt.Sprintf("ibswitch %s: route to invalid port %d", sw.name, port))
+	}
+	sw.routes[node] = port
+}
+
+// AttachPeer wires port i's egress to a peer endpoint whose ingress credits
+// are controlled by peerGate (nil for an RNIC, which never back-pressures).
+func (sw *Switch) AttachPeer(i int, linkPar model.LinkParams, peer link.Endpoint, peerGate link.Gate) {
+	p := sw.ports[i]
+	p.prop = linkPar.Propagation
+	p.wire = link.NewWire(sw.eng, fmt.Sprintf("%s.p%d", sw.name, i), linkPar.Bandwidth, linkPar.Propagation, peer, peerGate)
+	if bg, ok := peerGate.(*link.BufferGate); ok {
+		// Re-arm this egress whenever the downstream buffer frees space.
+		bg.OnRelease(func() { sw.kick(p) })
+	}
+}
+
+// IngressGate exposes port i's ingress credit gate (the upstream
+// transmitter reserves from it).
+func (sw *Switch) IngressGate(i int) *link.BufferGate { return sw.ports[i].gate }
+
+// Ingress returns the link.Endpoint for packets arriving at port i.
+func (sw *Switch) Ingress(i int) link.Endpoint { return ingress{sw.ports[i]} }
+
+// ingress adapts a port to link.Endpoint.
+type ingress struct{ p *Port }
+
+func (in ingress) DeliverArrival(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
+	in.p.deliver(pkt, arriveStart, arriveEnd)
+}
+
+func (p *Port) deliver(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
+	sw := p.sw
+	out, ok := sw.routes[pkt.DestNode]
+	if !ok {
+		panic(fmt.Sprintf("ibswitch %s: no route for node %d", sw.name, pkt.DestNode))
+	}
+	vl := sw.sl2vl.Map(pkt.SL)
+	pkt.VL = vl
+	p.gate.OnArrive(vl, pkt.WireSize())
+	ready := arriveStart.Add(sw.par.BaseLatency)
+	if sw.par.JitterMean > 0 {
+		ready = ready.Add(units.Duration(sw.jitter.Exp(float64(sw.par.JitterMean))))
+	}
+	p.queues[vl] = append(p.queues[vl], queuedPacket{
+		pkt:     pkt,
+		arrival: arriveStart,
+		ready:   ready,
+		size:    pkt.WireSize(),
+		outPort: out,
+	})
+	p.qbytes[vl] += pkt.WireSize()
+	sw.kick(sw.ports[out])
+}
+
+// kick schedules an immediate egress evaluation for out.
+func (sw *Switch) kick(out *Port) {
+	sw.wake(out, sw.eng.Now())
+}
+
+// arbBacklogThreshold is the standing-backlog size (two full 4 KB frames)
+// above which an input port counts toward the egress rearbitration
+// overhead's active-input term.
+const arbBacklogThreshold = 2 * (4096 + ib.MaxHeaderBytes)
+
+// tokenBucket enforces a per-VL egress rate limit (extension: the
+// mitigation the paper mentions in §VIII-C — "limiting the bandwidth for
+// each SL/VL mapping will prevent gaming" — but could not configure on its
+// switch). Tokens are bytes; they refill at rate and cap at burst.
+type tokenBucket struct {
+	rate   units.Bandwidth
+	burst  units.ByteSize
+	tokens float64
+	last   units.Time
+}
+
+func (b *tokenBucket) refill(now units.Time) {
+	if now <= b.last {
+		return
+	}
+	b.tokens += float64(units.BytesIn(b.rate, now.Sub(b.last)))
+	if max := float64(b.burst); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+}
+
+// ready reports whether size bytes may pass now; if not, it returns when
+// enough tokens will have accumulated.
+func (b *tokenBucket) ready(now units.Time, size units.ByteSize) (bool, units.Time) {
+	b.refill(now)
+	if b.tokens >= float64(size) {
+		return true, 0
+	}
+	deficit := float64(size) - b.tokens
+	wait := units.Serialization(units.ByteSize(deficit)+1, b.rate)
+	return false, now.Add(wait)
+}
+
+func (b *tokenBucket) consume(size units.ByteSize) { b.tokens -= float64(size) }
+
+// SetVLRateLimit caps a VL's egress bandwidth fabric-wide on this switch.
+// burst bounds how much the VL may send back-to-back after idling. A zero
+// rate removes the limit.
+func (sw *Switch) SetVLRateLimit(vl ib.VL, rate units.Bandwidth, burst units.ByteSize) {
+	if rate <= 0 {
+		sw.limits[vl] = nil
+		return
+	}
+	if burst <= 0 {
+		burst = 4096 + ib.MaxHeaderBytes
+	}
+	sw.limits[vl] = &tokenBucket{rate: rate, burst: burst, tokens: float64(burst)}
+}
+
+// candidate identifies a queue head eligible or soon-eligible for egress.
+type candidate struct {
+	inPort int
+	vl     ib.VL
+	qp     queuedPacket
+}
+
+// pick runs the egress arbiter for out.
+func (sw *Switch) pick(out *Port) {
+	now := sw.eng.Now()
+	if out.wire == nil {
+		return
+	}
+	if out.egressFreeAt > now {
+		sw.wake(out, out.egressFreeAt)
+		return
+	}
+
+	var eligible []candidate
+	nextReady := units.MaxTime
+	activeInputs := map[int]bool{}
+	for _, in := range sw.ports {
+		for vl := 0; vl < ib.NumVLs; vl++ {
+			q := in.queues[vl]
+			if len(q) == 0 {
+				continue
+			}
+			head := q[0]
+			if head.outPort != out.idx {
+				continue // head-of-line: rest of this FIFO is blocked
+			}
+			// The rearbitration overhead applies between inputs with
+			// standing backlogs; a port holding less than two full frames
+			// (e.g. the LSG's lone 64 B probe) does not slow the crossbar.
+			if in.qbytes[vl] > arbBacklogThreshold {
+				activeInputs[in.idx] = true
+			}
+			if head.ready > now {
+				if head.ready < nextReady {
+					nextReady = head.ready
+				}
+				continue
+			}
+			if lim := sw.limits[vl]; lim != nil {
+				if ok, at := lim.ready(now, head.size); !ok {
+					if at < nextReady {
+						nextReady = at
+					}
+					continue
+				}
+			}
+			if !out.wire.Gate().TryReserve(ib.VL(vl), head.size) {
+				// Downstream credits exhausted; the gate's release hook
+				// will re-kick this egress.
+				continue
+			}
+			// Tentatively reserved; only one candidate wins, so release
+			// the others below by tracking reservations.
+			eligible = append(eligible, candidate{inPort: in.idx, vl: ib.VL(vl), qp: head})
+		}
+	}
+	if len(eligible) == 0 {
+		if nextReady < units.MaxTime {
+			sw.wake(out, nextReady)
+		}
+		return
+	}
+
+	chosen := sw.choose(out, eligible)
+	// Return the tentative reservations of the losers.
+	for _, c := range eligible {
+		if c == chosen {
+			continue
+		}
+		sw.unreserve(out, c)
+	}
+	sw.transmit(out, chosen, len(activeInputs))
+}
+
+// unreserve gives back a tentative downstream reservation. The Unlimited
+// gate ignores this; BufferGate gets the bytes back via a zero-cost cycle.
+func (sw *Switch) unreserve(out *Port, c candidate) {
+	if bg, ok := out.wire.Gate().(*link.BufferGate); ok {
+		bg.Unreserve(c.vl, c.qp.size)
+	}
+}
+
+func (sw *Switch) choose(out *Port, eligible []candidate) candidate {
+	switch sw.policy {
+	case FCFS:
+		return chooseFCFS(eligible)
+	case RR:
+		return chooseRR(out, eligible)
+	case VLArb:
+		return sw.chooseVLArb(out, eligible)
+	case SPF:
+		return chooseSPF(eligible)
+	default:
+		panic("ibswitch: unknown policy")
+	}
+}
+
+// chooseSPF picks the smallest eligible packet, ties broken by age.
+func chooseSPF(eligible []candidate) candidate {
+	best := eligible[0]
+	for _, c := range eligible[1:] {
+		if c.qp.size < best.qp.size ||
+			(c.qp.size == best.qp.size && c.qp.arrival < best.qp.arrival) {
+			best = c
+		}
+	}
+	return best
+}
+
+// chooseFCFS picks the oldest head by switch arrival time.
+func chooseFCFS(eligible []candidate) candidate {
+	best := eligible[0]
+	for _, c := range eligible[1:] {
+		if c.qp.arrival < best.qp.arrival ||
+			(c.qp.arrival == best.qp.arrival && c.inPort < best.inPort) {
+			best = c
+		}
+	}
+	return best
+}
+
+// chooseRR scans input ports cyclically from the pointer.
+func chooseRR(out *Port, eligible []candidate) candidate {
+	n := len(out.sw.ports)
+	byPort := map[int][]candidate{}
+	for _, c := range eligible {
+		byPort[c.inPort] = append(byPort[c.inPort], c)
+	}
+	for off := 0; off < n; off++ {
+		idx := (out.rrNext + off) % n
+		if cs, ok := byPort[idx]; ok {
+			best := cs[0]
+			for _, c := range cs[1:] {
+				if c.vl < best.vl {
+					best = c
+				}
+			}
+			out.rrNext = (idx + 1) % n
+			return best
+		}
+	}
+	panic("ibswitch: RR found no candidate")
+}
+
+// chooseVLArb applies the deficit-weighted high/low tables: high-priority
+// VLs are served whenever they hold both traffic and tokens; token budgets
+// refill jointly when no backlogged VL has tokens left. Within a VL the
+// oldest packet wins (FCFS).
+func (sw *Switch) chooseVLArb(out *Port, eligible []candidate) candidate {
+	st := &out.arb
+	if !st.inited {
+		st.inited = true
+		sw.replenish(st)
+	}
+	byVL := map[ib.VL][]candidate{}
+	for _, c := range eligible {
+		byVL[c.vl] = append(byVL[c.vl], c)
+	}
+	pickFrom := func(vl ib.VL) candidate {
+		cs := byVL[vl]
+		best := cs[0]
+		for _, c := range cs[1:] {
+			if c.qp.arrival < best.qp.arrival {
+				best = c
+			}
+		}
+		st.tokens[vl] -= int64(best.qp.size)
+		return best
+	}
+	for iter := 0; iter < 64; iter++ {
+		for _, e := range sw.vlarb.High {
+			if len(byVL[e.VL]) > 0 && st.tokens[e.VL] > 0 {
+				return pickFrom(e.VL)
+			}
+		}
+		for _, e := range sw.vlarb.Low {
+			if len(byVL[e.VL]) > 0 && st.tokens[e.VL] > 0 {
+				return pickFrom(e.VL)
+			}
+		}
+		sw.replenish(st)
+	}
+	// Token weights are tiny relative to a packet; serve FCFS as a
+	// safety valve rather than livelock.
+	return chooseFCFS(eligible)
+}
+
+// replenish adds one round of weight to every configured VL, capping the
+// accumulated budget at one round's worth (classic DRR).
+func (sw *Switch) replenish(st *vlarbState) {
+	add := func(e ib.VLArbEntry) {
+		st.tokens[e.VL] += e.Weight
+		if st.tokens[e.VL] > e.Weight {
+			st.tokens[e.VL] = e.Weight
+		}
+	}
+	for _, e := range sw.vlarb.High {
+		add(e)
+	}
+	for _, e := range sw.vlarb.Low {
+		add(e)
+	}
+}
+
+// transmit dequeues the chosen packet and puts it on the egress wire.
+func (sw *Switch) transmit(out *Port, c candidate, activeInputs int) {
+	now := sw.eng.Now()
+	in := sw.ports[c.inPort]
+	q := in.queues[c.vl]
+	if len(q) == 0 || q[0].pkt != c.qp.pkt {
+		panic("ibswitch: queue head changed during arbitration")
+	}
+	in.queues[c.vl] = q[1:]
+	in.qbytes[c.vl] -= c.qp.size
+	// Dequeuing may expose a head bound for a different egress port; that
+	// port must re-arbitrate or a rare flow behind a busy one would starve
+	// (classic input-queued switch bookkeeping).
+	if len(in.queues[c.vl]) > 0 {
+		if next := in.queues[c.vl][0].outPort; next != out.idx {
+			sw.kick(sw.ports[next])
+		}
+	}
+
+	if lim := sw.limits[c.vl]; lim != nil {
+		lim.refill(now)
+		lim.consume(c.qp.size)
+	}
+	if sw.OnForward != nil {
+		sw.OnForward(c.qp.pkt, c.qp.arrival, now)
+	}
+	end := out.wire.Send(c.qp.pkt)
+	ser := end.Sub(now) // Wire.Send returns injection end (pre-propagation)
+	// Egress rearbitration overhead: the empirical quadratic fit described
+	// in model.SwitchParams. It extends the egress busy period but not the
+	// packet's own delivery time.
+	overhead := sw.arbOverhead(c.qp.size, activeInputs)
+	out.egressFreeAt = now.Add(ser + overhead)
+	sw.ForwardedPackets++
+
+	// The packet leaves the input buffer when its last bit leaves the
+	// egress (cut-through: ingress and egress drain together).
+	vl := c.vl
+	size := c.qp.size
+	sw.eng.At(now.Add(ser), "switch:depart", func() {
+		in.gate.OnDepart(vl, size)
+	})
+	sw.wake(out, out.egressFreeAt)
+}
+
+func (sw *Switch) arbOverhead(size units.ByteSize, activeInputs int) units.Duration {
+	if sw.par.ArbOverheadMax <= 0 || activeInputs <= 1 {
+		return 0
+	}
+	frac := 1 - 1/float64(activeInputs)
+	r := float64(size) / float64(sw.par.ArbRefBytes)
+	return units.Duration(float64(sw.par.ArbOverheadMax) * frac * r * r)
+}
+
+// wake ensures pick runs for out no later than at, keeping a single
+// pending evaluation per egress port.
+func (sw *Switch) wake(out *Port, at units.Time) {
+	if out.scheduled != nil {
+		if out.scheduled.Time() <= at {
+			return
+		}
+		sw.eng.Cancel(out.scheduled)
+	}
+	out.scheduled = sw.eng.At(at, "switch:pick", func() {
+		out.scheduled = nil
+		sw.pick(out)
+	})
+}
+
+// QueuedBytes reports the total bytes buffered at input port i for vl
+// (diagnostics and tests).
+func (sw *Switch) QueuedBytes(i int, vl ib.VL) units.ByteSize {
+	var total units.ByteSize
+	for _, q := range sw.ports[i].queues[vl] {
+		total += q.size
+	}
+	return total
+}

@@ -1,0 +1,281 @@
+// Package model holds the calibrated parameter sets that make the simulated
+// fabric reproduce the paper's testbed (§V): seven hosts with ConnectX-4
+// RNICs behind a Mellanox SX6012 switch at 56 Gb/s, plus the paper's
+// OMNeT++-based switch simulator expressed as a second profile of the same
+// switch model.
+//
+// Every constant is annotated with the figure(s) it was calibrated against.
+// Changing one of these values shifts specific experiment outputs in
+// predictable ways; the ablation benchmarks in the repository root exercise
+// several of them.
+package model
+
+import (
+	"repro/internal/ib"
+	"repro/internal/units"
+)
+
+// NICParams describe the RNIC (ConnectX-4) model.
+type NICParams struct {
+	// LinkBandwidth is the port rate: 56 Gb/s (FDR, paper §V).
+	LinkBandwidth units.Bandwidth
+	// LoopbackBandwidth is the internal loopback path rate. Calibrated to
+	// 62 Gb/s so that RPerf's loopback subtraction leaves the small
+	// residual payload-size slope of Fig. 4 (20 ns @64 B -> 76 ns @4 KB
+	// back-to-back: the PCIe-bound loopback is slightly faster than the
+	// wire).
+	LoopbackBandwidth units.Bandwidth
+	// SendEngines is the number of parallel send processing units. Two,
+	// so RPerf's over-the-wire and loopback SENDs (posted on distinct QPs)
+	// process concurrently and local-side overhead cancels (paper §IV).
+	SendEngines int
+	// MessageCost is the per-message send-engine occupancy floor. 125 ns
+	// (8 Mpps) reproduces the small-payload bandwidth ceiling of Fig. 5
+	// (4.1 Gb/s at 64 B) and Fig. 9 (35% at 64 B, 70% at 128 B across
+	// five generators).
+	MessageCost units.Duration
+	// BatchedMessageCost is the per-message cost with deep doorbell
+	// batching, used by the pretend-LSG (§VIII-C). 60 ns lets a 256 B
+	// generator offer ~41 Gb/s wire, saturating its high-priority VL
+	// share and reproducing Fig. 13's 21.5 Gb/s.
+	BatchedMessageCost units.Duration
+	// SerializeEpsilon inflates engine occupancy relative to pure wire
+	// serialization (inter-packet gaps, WQE bookkeeping). 0.05 gives the
+	// 52-53 Gb/s large-payload ceiling of Fig. 5.
+	SerializeEpsilon float64
+	// MMIOPost is the doorbell MMIO latency (host -> RNIC).
+	MMIOPost units.Duration
+	// DMAReadBase/DMAWriteBase are PCIe DMA setup latencies; PCIeBandwidth
+	// is the payload-proportional part. Calibrated against Fig. 6's
+	// Perftest slope (~0.8 ns/B total across four DMA crossings).
+	DMAReadBase   units.Duration
+	DMAWriteBase  units.Duration
+	PCIeBandwidth units.Bandwidth
+	// AckTurnaround is the remote RNIC's hardware ACK generation delay
+	// after a packet fully arrives (paper Fig. 1d: the ACK does not wait
+	// for the remote PCIe write). With AckRxProc and two 3 ns cable hops
+	// it makes up the 20 ns zero-load back-to-back RTT of Fig. 4.
+	AckTurnaround units.Duration
+	// AckRxProc is the local RNIC's ACK-to-CQE processing time.
+	AckRxProc units.Duration
+	// RxPipeline is the fixed receive-pipeline latency before payload
+	// delivery. It does not limit throughput: the paper's own data
+	// (Fig. 9, 37 Mpps at the destination with sub-microsecond LSG
+	// latency) shows the ConnectX-4 RX path is not the bottleneck.
+	RxPipeline units.Duration
+	// CQEDeliver is the CQE DMA write plus host poll-detection time. It
+	// appears in every software-observed completion and cancels out of
+	// RPerf's TW - TL subtraction by construction.
+	CQEDeliver units.Duration
+	// JitterMean is the mean of the exponential per-RTT NIC jitter,
+	// producing Fig. 4's ~25 ns median-to-tail gap without the switch.
+	JitterMean units.Duration
+	// MTU is the path MTU (4096 B, so every payload in the paper is a
+	// single packet).
+	MTU units.ByteSize
+}
+
+// SwitchParams describe the switch model. Two parameter sets instantiate
+// it: the physical SX6012 and the paper's OMNeT++ simulator.
+type SwitchParams struct {
+	// Name tags the profile in experiment output.
+	Name string
+	// BaseLatency is the cut-through header processing latency per
+	// traversal. HW: 186 ns + Exp(24.6 ns) jitter gives a 203 ns median
+	// traversal (the spec's port-to-port figure) and the ~193 ns
+	// median-to-tail RTT gap of Fig. 4; Sim: flat 203 ns, so median ==
+	// tail as the paper observes for its simulator (§VIII-B).
+	BaseLatency units.Duration
+	// JitterMean is the mean of the exponential per-traversal jitter
+	// (0 disables).
+	JitterMean units.Duration
+	// ArbOverheadMax is the peak per-packet egress rearbitration overhead
+	// C: the applied overhead is
+	//   C * (1 - 1/Nactive) * (ser(pkt)/ser(refPkt))^2,
+	// where Nactive counts input ports competing for the egress. The
+	// quadratic form is an empirical fit that simultaneously reproduces
+	// Fig. 7b (52.2 -> 48.4 Gb/s as BSGs go 1 -> 5 at 4096 B) and Fig. 9
+	// (~98% wire utilization at 128-256 B where fixed or linear models
+	// would collapse). Zero for the Sim profile: the paper notes its
+	// simulator does not model switch micro-architecture.
+	ArbOverheadMax units.Duration
+	// ArbRefBytes is the reference wire size for the overhead fit (the
+	// 4 KB payload packet).
+	ArbRefBytes units.ByteSize
+	// VLWindow is the per-(input port, VL) credit window: the effective
+	// input buffering a sender may occupy. 32 KB reproduces the per-BSG
+	// latency increments of Fig. 7a (~5 us on HW) and Fig. 10 (~4.6 us in
+	// the simulator) through the frozen-occupancy law (see package link).
+	VLWindow units.ByteSize
+	// VLWindowOverride adjusts the window for specific VLs. The HW
+	// profile gives VL1 64 KB, calibrated against Fig. 12's pretend-LSG
+	// result (8.5 us real-LSG RTT).
+	VLWindowOverride map[ib.VL]units.ByteSize
+	// CreditReturnDelay is the latency for released buffer credits to
+	// become visible to the upstream transmitter.
+	CreditReturnDelay units.Duration
+	// PortToPort propagation is carried by the links, not the switch.
+}
+
+// HostParams describe host software behaviour, relevant to the baseline
+// measurement tools (Perftest/Qperf, Fig. 6) that RPerf is designed to
+// beat.
+type HostParams struct {
+	// PollDetect is the CQ polling loop's detection latency.
+	PollDetect units.Duration
+	// MemPollDetect is the latency to detect data landing in polled
+	// memory (Qperf-style data polling).
+	MemPollDetect units.Duration
+	// SoftwareTurnaround is the time to construct and post a response in
+	// software (Perftest's pong).
+	SoftwareTurnaround units.Duration
+	// LoopOverhead is per-iteration measurement-loop overhead (timer
+	// syscalls, bookkeeping) charged by the Qperf model, which timestamps
+	// around a much larger code region than RPerf's rdtsc usage.
+	LoopOverhead units.Duration
+	// JitterMean is the mean exponential jitter applied per software
+	// event (scheduling noise, cache misses); it produces Perftest's
+	// ~2 us median-to-tail gap in Fig. 6.
+	JitterMean units.Duration
+}
+
+// LinkParams describe a cable.
+type LinkParams struct {
+	// Bandwidth is the signaling rate (56 Gb/s).
+	Bandwidth units.Bandwidth
+	// Propagation is the one-way cable delay (3 ns: ~60 cm DAC).
+	Propagation units.Duration
+}
+
+// FabricParams aggregates everything an experiment needs.
+type FabricParams struct {
+	NIC    NICParams
+	Switch SwitchParams
+	Host   HostParams
+	Link   LinkParams
+}
+
+// HWTestbed returns the parameter set calibrated against the paper's
+// physical testbed (§V): ConnectX-4 RNICs and the SX6012 switch.
+func HWTestbed() FabricParams {
+	return FabricParams{
+		NIC:    defaultNIC(),
+		Switch: hwSwitch(),
+		Host:   defaultHost(),
+		Link:   defaultLink(),
+	}
+}
+
+// OMNeTSim returns the parameter set matching the paper's OMNeT++ switch
+// simulator (§V, §VIII-B): same topology and rates, no switch
+// micro-architecture effects, and line-rate traffic injectors.
+func OMNeTSim() FabricParams {
+	p := FabricParams{
+		NIC:    defaultNIC(),
+		Switch: simSwitch(),
+		Host:   defaultHost(),
+		Link:   defaultLink(),
+	}
+	// The OMNeT model has no RNIC message-rate ceiling: generators inject
+	// at line rate. Fig. 10's occupancy law W*(1 - rd/ro) with ro = 56 G
+	// reproduces 4.5 us at two BSGs and 18.2 us at five.
+	p.NIC.MessageCost = 0
+	p.NIC.BatchedMessageCost = 0
+	p.NIC.SerializeEpsilon = 0
+	p.NIC.JitterMean = 0
+	return p
+}
+
+func defaultNIC() NICParams {
+	return NICParams{
+		LinkBandwidth:      56 * units.Gbps,
+		LoopbackBandwidth:  62 * units.Gbps,
+		SendEngines:        2,
+		MessageCost:        125 * units.Nanosecond,
+		BatchedMessageCost: 60 * units.Nanosecond,
+		SerializeEpsilon:   0.05,
+		MMIOPost:           100 * units.Nanosecond,
+		DMAReadBase:        150 * units.Nanosecond,
+		DMAWriteBase:       150 * units.Nanosecond,
+		PCIeBandwidth:      63 * units.Gbps, // ~7.87 GB/s effective
+		AckTurnaround:      4 * units.Nanosecond,
+		AckRxProc:          4500 * units.Picosecond,
+		RxPipeline:         40 * units.Nanosecond,
+		CQEDeliver:         150 * units.Nanosecond,
+		JitterMean:         3500 * units.Picosecond,
+		MTU:                ib.DefaultMTU,
+	}
+}
+
+func hwSwitch() SwitchParams {
+	return SwitchParams{
+		Name:           "SX6012",
+		BaseLatency:    186 * units.Nanosecond,
+		JitterMean:     units.Nanoseconds(24.6),
+		ArbOverheadMax: units.Nanoseconds(105.7),
+		ArbRefBytes:    4096 + ib.MaxHeaderBytes,
+		VLWindow:       32 * units.KB,
+		VLWindowOverride: map[ib.VL]units.ByteSize{
+			1: 64 * units.KB,
+		},
+		CreditReturnDelay: 13 * units.Nanosecond,
+	}
+}
+
+func simSwitch() SwitchParams {
+	return SwitchParams{
+		Name:              "IB-OMNeT",
+		BaseLatency:       203 * units.Nanosecond,
+		JitterMean:        0,
+		ArbOverheadMax:    0,
+		ArbRefBytes:       4096 + ib.MaxHeaderBytes,
+		VLWindow:          32 * units.KB,
+		CreditReturnDelay: 13 * units.Nanosecond,
+	}
+}
+
+func defaultHost() HostParams {
+	return HostParams{
+		PollDetect:         50 * units.Nanosecond,
+		MemPollDetect:      80 * units.Nanosecond,
+		SoftwareTurnaround: 100 * units.Nanosecond,
+		LoopOverhead:       1100 * units.Nanosecond,
+		JitterMean:         130 * units.Nanosecond,
+	}
+}
+
+func defaultLink() LinkParams {
+	return LinkParams{
+		Bandwidth:   56 * units.Gbps,
+		Propagation: 3 * units.Nanosecond,
+	}
+}
+
+// WindowFor returns the credit window for a VL, honoring overrides.
+func (s SwitchParams) WindowFor(vl ib.VL) units.ByteSize {
+	if w, ok := s.VLWindowOverride[vl]; ok {
+		return w
+	}
+	return s.VLWindow
+}
+
+// EngineOccupancy returns how long a send engine is busy with one packet of
+// the given wire size for a QP whose per-message cost is msgCost.
+func (n NICParams) EngineOccupancy(wire units.ByteSize, msgCost units.Duration) units.Duration {
+	ser := units.Serialization(wire, n.LinkBandwidth)
+	ser += units.Duration(float64(ser) * n.SerializeEpsilon)
+	if ser < msgCost {
+		return msgCost
+	}
+	return ser
+}
+
+// DMARead returns the PCIe DMA read latency for a payload.
+func (n NICParams) DMARead(payload units.ByteSize) units.Duration {
+	return n.DMAReadBase + units.Serialization(payload, n.PCIeBandwidth)
+}
+
+// DMAWrite returns the PCIe DMA write latency for a payload.
+func (n NICParams) DMAWrite(payload units.ByteSize) units.Duration {
+	return n.DMAWriteBase + units.Serialization(payload, n.PCIeBandwidth)
+}

@@ -1,0 +1,128 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/units"
+)
+
+func TestHWTestbedSanity(t *testing.T) {
+	p := HWTestbed()
+	if p.NIC.LinkBandwidth != 56*units.Gbps {
+		t.Error("link must be 56 Gbps (paper §V)")
+	}
+	if p.NIC.SendEngines < 2 {
+		t.Error("RPerf needs >= 2 parallel send engines for loopback cancellation")
+	}
+	if p.Switch.Name != "SX6012" {
+		t.Error("wrong switch name")
+	}
+	// Median traversal latency must land on the ~200 ns the spec claims:
+	// base + median of Exp(mean) = base + ln(2)*mean.
+	med := p.Switch.BaseLatency + units.Duration(0.693*float64(p.Switch.JitterMean))
+	if med < 190*units.Nanosecond || med > 215*units.Nanosecond {
+		t.Errorf("median traversal = %v, want ~203 ns", med)
+	}
+}
+
+func TestOMNeTProfileMatchesPaperDescription(t *testing.T) {
+	p := OMNeTSim()
+	if p.Switch.JitterMean != 0 || p.Switch.ArbOverheadMax != 0 {
+		t.Error("simulator profile must not model switch uArch (paper §VIII-B)")
+	}
+	if p.NIC.MessageCost != 0 {
+		t.Error("simulator injectors are line-rate (no RNIC pps ceiling)")
+	}
+	if p.Switch.VLWindow != 32*units.KB {
+		t.Error("paper: simulated input buffers are 32 KB")
+	}
+	if p.Switch.BaseLatency != 203*units.Nanosecond {
+		t.Error("simulator port-to-port latency set per real switch spec")
+	}
+}
+
+func TestEngineOccupancyLargePayloadCeiling(t *testing.T) {
+	// Fig. 5: a single 4096 B BSG achieves ~52-53 Gb/s. Engine occupancy
+	// per message determines that ceiling.
+	n := defaultNIC()
+	occ := n.EngineOccupancy(4096+ib.MaxHeaderBytes, n.MessageCost)
+	goodput := float64(4096*8) / occ.Seconds() / 1e9
+	if goodput < 51.5 || goodput > 53.5 {
+		t.Errorf("4096 B engine-limited goodput = %.1f Gb/s, want ~52-53", goodput)
+	}
+}
+
+func TestEngineOccupancySmallPayloadCeiling(t *testing.T) {
+	// Fig. 5: 64 B achieves ~4.1 Gb/s — the 8 Mpps message-rate ceiling.
+	n := defaultNIC()
+	occ := n.EngineOccupancy(64+ib.MaxHeaderBytes, n.MessageCost)
+	if occ != n.MessageCost {
+		t.Fatalf("64 B occupancy = %v, want message cost %v", occ, n.MessageCost)
+	}
+	goodput := float64(64*8) / occ.Seconds() / 1e9
+	if math.Abs(goodput-4.1) > 0.2 {
+		t.Errorf("64 B goodput = %.2f Gb/s, want ~4.1", goodput)
+	}
+}
+
+func TestBatchedCostGivesPretendLSGRate(t *testing.T) {
+	// Fig. 13: the pretend LSG offers enough 256 B messages to sustain
+	// ~21.5 Gb/s through its 46% VL share; its raw offered wire rate must
+	// exceed that share (~25.5 Gb/s wire).
+	n := defaultNIC()
+	occ := n.EngineOccupancy(256+ib.MaxHeaderBytes, n.BatchedMessageCost)
+	wire := float64((256 + int64(ib.MaxHeaderBytes)) * 8 / 1)
+	offered := wire / occ.Seconds() / 1e9
+	if offered < 30 {
+		t.Errorf("pretend LSG offered wire rate = %.1f Gb/s, must exceed VL1 share ~25.5", offered)
+	}
+}
+
+func TestWindowFor(t *testing.T) {
+	s := hwSwitch()
+	if s.WindowFor(0) != 32*units.KB {
+		t.Error("VL0 window should be 32 KB")
+	}
+	if s.WindowFor(1) != 64*units.KB {
+		t.Error("VL1 window should be 64 KB (Fig. 12 calibration)")
+	}
+	if s.WindowFor(5) != 32*units.KB {
+		t.Error("unconfigured VLs use the default window")
+	}
+}
+
+func TestDMALatencies(t *testing.T) {
+	n := defaultNIC()
+	// Fig. 6 slope calibration: DMA per-byte cost ~0.127 ns/B.
+	d0 := n.DMARead(0)
+	d4k := n.DMARead(4096)
+	perByte := (d4k - d0).Nanoseconds() / 4096
+	if math.Abs(perByte-0.127) > 0.01 {
+		t.Errorf("DMA per-byte = %.4f ns/B, want ~0.127", perByte)
+	}
+	if n.DMAWrite(0) != n.DMAWriteBase {
+		t.Error("zero-byte DMA write should cost only the base")
+	}
+}
+
+func TestFrozenOccupancyCalibrationFig7a(t *testing.T) {
+	// Cross-check the closed-form latency expectation that drove the
+	// window calibration: with five 4096 B BSGs on the HW profile the LSG
+	// should wait ~20-22 us (Fig. 12 "Shared SL": 20.2 us median).
+	p := HWTestbed()
+	const nBSG = 5.0
+	wirePkt := 4096.0 + float64(ib.MaxHeaderBytes)
+	ser := wirePkt * 8 / 56e9 * 1e9 // ns
+	over := p.Switch.ArbOverheadMax.Nanoseconds() * (1 - 1/nBSG)
+	drainTotal := wirePkt * 8 / (ser + over) // Gbps (since ns & bits)
+	drainPer := drainTotal / nBSG
+	offered := p.NIC.EngineOccupancy(units.ByteSize(wirePkt), p.NIC.MessageCost)
+	ro := wirePkt * 8 / offered.Nanoseconds()
+	occ := float64(p.Switch.VLWindow) * (1 - drainPer/ro)
+	waitUs := nBSG * occ * 8 / (drainTotal * 1e3)
+	if waitUs < 18 || waitUs > 24 {
+		t.Errorf("predicted shared-SL LSG wait = %.1f us, want ~20-22", waitUs)
+	}
+}

@@ -1,0 +1,542 @@
+// Package rnic models the RDMA NIC (ConnectX-4 in the paper's testbed):
+// queue pairs over RC and UD transports, the four verbs (SEND/RECV, WRITE,
+// READ), PCIe interactions (MMIO doorbells, DMA fetch and delivery),
+// parallel send processing engines with a per-message cost floor, hardware
+// ACK generation, completion queue entries, and the internal loopback path
+// that RPerf uses to cancel local-side processing (paper §IV).
+//
+// The execution sequences follow the paper's Figure 1 exactly:
+//
+//   - RC SEND: local DMA fetch -> wire -> remote ACKs immediately on
+//     receipt (before its PCIe delivery) -> local CQE on ACK (Fig. 1d).
+//   - UD SEND: CQE as soon as the request is on the wire (Fig. 1c).
+//   - RC WRITE: remote DMA-writes the payload, then ACKs (Fig. 1b) — the
+//     remote PCIe delay Qperf cannot avoid.
+//   - RC READ: remote DMA read, response carries the payload, local DMA
+//     write precedes the CQE (Fig. 1a).
+package rnic
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/link"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// CompletionFn receives the time at which a CQE became visible to software
+// polling the completion queue.
+type CompletionFn func(cqeAt units.Time)
+
+// DeliverFn observes every data-bearing packet arriving from the wire
+// (bandwidth meters hook it). wireEnd is when the last bit arrived at the
+// port — the paper measures bandwidth "at the destination port".
+type DeliverFn func(pkt *ib.Packet, wireEnd units.Time)
+
+// RecvFn observes completed incoming messages. visibleAt is when receiving
+// software can act on the message: for SEND, the RECV CQE (after the RX
+// pipeline and payload DMA); for WRITE, the moment the payload has landed
+// in host memory (pollable); for loopback, the local CQE.
+type RecvFn func(pkt *ib.Packet, wireEnd, visibleAt units.Time)
+
+// QP is a queue pair.
+type QP struct {
+	Num       int
+	Transport ib.Transport
+	Peer      ib.NodeID
+	SL        ib.SL
+	// MsgCost overrides the engine's per-message occupancy floor
+	// (0 = NIC default). The pretend-LSG's deep batching lowers it.
+	MsgCost  units.Duration
+	Loopback bool
+	engine   *engine
+	owner    *RNIC
+}
+
+type pendingOp struct {
+	verb       ib.Verb
+	payload    units.ByteSize
+	onComplete CompletionFn
+}
+
+// RNIC is one RDMA NIC.
+type RNIC struct {
+	eng  *sim.Engine
+	par  model.NICParams
+	node ib.NodeID
+	jit  *rng.Source
+
+	wire     *link.Wire // toward the fabric; set by Attach
+	loopWire *link.Wire // internal loopback path
+	sl2vl    ib.SL2VL
+
+	engines []*engine // data engines
+	ctrl    *engine   // responder engine: ACKs, READ responses
+
+	qps        map[int]*QP
+	nextQPNum  int
+	nextEngine int
+	pending    map[uint64]*pendingOp
+	nextMsgID  uint64
+
+	// OnDeliver and OnRecvMessage are optional observation hooks.
+	OnDeliver     DeliverFn
+	OnRecvMessage RecvFn
+
+	// Counters for tests and diagnostics.
+	SentMessages uint64
+	RecvMessages uint64
+}
+
+// New builds an RNIC for the given node. jitter must be a dedicated stream.
+func New(eng *sim.Engine, node ib.NodeID, par model.NICParams, jitter *rng.Source) *RNIC {
+	r := &RNIC{
+		eng:     eng,
+		par:     par,
+		node:    node,
+		jit:     jitter,
+		sl2vl:   ib.DefaultSL2VL(),
+		qps:     make(map[int]*QP),
+		pending: make(map[uint64]*pendingOp),
+	}
+	n := par.SendEngines
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		r.engines = append(r.engines, newEngine(r, fmt.Sprintf("eng%d", i)))
+	}
+	r.ctrl = newEngine(r, "ctrl")
+	r.ctrl.reorder = true
+	r.loopWire = link.NewWire(eng, fmt.Sprintf("n%d.loop", node), par.LoopbackBandwidth, 0, loopEndpoint{r}, link.Unlimited{})
+	return r
+}
+
+// Node returns the RNIC's fabric address.
+func (r *RNIC) Node() ib.NodeID { return r.node }
+
+// Engine returns the simulation engine driving this RNIC.
+func (r *RNIC) Engine() *sim.Engine { return r.eng }
+
+// SplitRNG derives a deterministic random stream tied to this RNIC, for
+// software layers (measurement loops, hosts) that need reproducible noise.
+func (r *RNIC) SplitRNG(label string) *rng.Source { return r.jit.Split(label) }
+
+// Params returns the NIC parameter set.
+func (r *RNIC) Params() model.NICParams { return r.par }
+
+// Attach wires the RNIC to the fabric. The topology layer constructs the
+// wire with the peer's ingress endpoint and credit gate.
+func (r *RNIC) Attach(w *link.Wire) { r.wire = w }
+
+// SetSL2VL installs the fabric-wide SL-to-VL mapping so credits are
+// reserved on the VL the switch will classify each packet into.
+func (r *RNIC) SetSL2VL(t ib.SL2VL) { r.sl2vl = t }
+
+// QPOption customizes CreateQP.
+type QPOption func(*QP)
+
+// WithMsgCost overrides the per-message engine occupancy floor, modeling
+// batched posting regimes.
+func WithMsgCost(d units.Duration) QPOption { return func(q *QP) { q.MsgCost = d } }
+
+// WithEngine pins the QP to a specific send engine.
+func WithEngine(i int) QPOption {
+	return func(q *QP) { q.engine = q.owner.engines[i%len(q.owner.engines)] }
+}
+
+// CreateQP creates a queue pair toward peer. QPs are spread round-robin
+// over the send engines; RPerf relies on its wire and loopback QPs landing
+// on distinct engines so local-side processing overlaps (paper §IV).
+func (r *RNIC) CreateQP(t ib.Transport, peer ib.NodeID, sl ib.SL, opts ...QPOption) *QP {
+	r.nextQPNum++
+	q := &QP{
+		Num:       r.nextQPNum,
+		Transport: t,
+		Peer:      peer,
+		SL:        sl,
+		Loopback:  peer == r.node,
+		owner:     r,
+	}
+	q.engine = r.engines[r.nextEngine%len(r.engines)]
+	r.nextEngine++
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// PostSend posts a work request on qp at the current simulation time and
+// returns the message ID. onComplete (optional) fires when the CQE becomes
+// visible to polling software.
+func (r *RNIC) PostSend(qp *QP, verb ib.Verb, payload units.ByteSize, onComplete CompletionFn) uint64 {
+	if !qp.Transport.Supports(verb) {
+		panic(fmt.Sprintf("rnic: transport %v does not support %v", qp.Transport, verb))
+	}
+	if verb == ib.VerbRecv {
+		panic("rnic: RECV is pre-posted implicitly; post SEND/WRITE/READ")
+	}
+	if r.wire == nil && !qp.Loopback {
+		panic("rnic: not attached to the fabric")
+	}
+	r.nextMsgID++
+	msgID := r.nextMsgID
+	now := r.eng.Now()
+
+	// Local-side pre-wire path: MMIO doorbell, then payload DMA fetch
+	// (READ requests carry no payload and skip the fetch — Fig. 1a).
+	ready := now.Add(r.par.MMIOPost)
+	if verb != ib.VerbRead {
+		ready = ready.Add(r.par.DMARead(payload))
+	}
+
+	wire := r.wire
+	if qp.Loopback {
+		wire = r.loopWire
+	}
+
+	if verb == ib.VerbRead || ((verb == ib.VerbSend || verb == ib.VerbWrite) && qp.Transport == ib.RC && !qp.Loopback) {
+		r.pending[msgID] = &pendingOp{verb: verb, payload: payload, onComplete: onComplete}
+	}
+
+	segs := ib.Segment(payload, r.par.MTU)
+	if verb == ib.VerbRead {
+		segs = []units.ByteSize{payload} // single request packet, no payload on the wire
+	}
+	for i, seg := range segs {
+		kind := ib.KindData
+		if verb == ib.VerbRead {
+			kind = ib.KindReadRequest
+		}
+		pkt := &ib.Packet{
+			Kind:      kind,
+			Verb:      verb,
+			Transport: qp.Transport,
+			SrcNode:   r.node,
+			DestNode:  qp.Peer,
+			QP:        qp.Num,
+			MsgID:     msgID,
+			SeqInMsg:  i,
+			LastInMsg: i == len(segs)-1,
+			Payload:   seg,
+			SL:        qp.SL,
+		}
+		if verb == ib.VerbRead {
+			pkt.Payload = 0
+			pkt.CreditBytes = payload // requested length rides in the header
+		}
+		tx := &txPacket{
+			pkt:       pkt,
+			readyAt:   ready,
+			wire:      wire,
+			occupancy: r.par.EngineOccupancy(pkt.WireSize(), qp.msgCost(r)),
+		}
+		if pkt.LastInMsg {
+			switch {
+			case qp.Loopback:
+				// Completion handled at loopback delivery.
+				r.pending[msgID] = &pendingOp{verb: verb, payload: payload, onComplete: onComplete}
+			case qp.Transport == ib.UD:
+				// Fig. 1c: CQE as soon as the request is on the wire.
+				cb := onComplete
+				tx.onInjectEnd = func(injEnd units.Time) {
+					r.completeAt(injEnd.Add(r.par.CQEDeliver), cb)
+				}
+			}
+		}
+		qp.engine.enqueue(tx)
+	}
+	r.SentMessages++
+	return msgID
+}
+
+func (q *QP) msgCost(r *RNIC) units.Duration {
+	if q.MsgCost > 0 {
+		return q.MsgCost
+	}
+	return r.par.MessageCost
+}
+
+func (r *RNIC) completeAt(at units.Time, cb CompletionFn) {
+	if cb == nil {
+		return
+	}
+	r.eng.At(at, "rnic:cqe", func() { cb(at) })
+}
+
+// vlOf maps a packet to the VL used for downstream credit accounting.
+func (r *RNIC) vlOf(pkt *ib.Packet) ib.VL { return r.sl2vl.Map(pkt.SL) }
+
+// DeliverArrival implements link.Endpoint for the fabric-facing port.
+func (r *RNIC) DeliverArrival(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
+	switch pkt.Kind {
+	case ib.KindData:
+		r.recvData(pkt, arriveEnd)
+	case ib.KindAck:
+		r.recvAck(pkt, arriveEnd)
+	case ib.KindReadRequest:
+		r.serveRead(pkt, arriveEnd)
+	case ib.KindReadResponse:
+		r.recvReadResponse(pkt, arriveEnd)
+	default:
+		panic(fmt.Sprintf("rnic: unexpected packet kind %v", pkt.Kind))
+	}
+}
+
+func (r *RNIC) recvData(pkt *ib.Packet, wireEnd units.Time) {
+	if r.OnDeliver != nil {
+		r.OnDeliver(pkt, wireEnd)
+	}
+	if pkt.LastInMsg {
+		r.RecvMessages++
+	}
+	if pkt.Transport == ib.RC && pkt.LastInMsg {
+		// Hardware ACK. For SEND the remote RNIC responds immediately on
+		// receipt, before the payload's PCIe write (Fig. 1d) — the
+		// property RPerf exploits. For WRITE the ACK follows the DMA
+		// write (Fig. 1b).
+		ackReady := wireEnd.Add(r.par.AckTurnaround)
+		if pkt.Verb == ib.VerbWrite {
+			ackReady = ackReady.Add(r.par.DMAWrite(pkt.Payload))
+		}
+		if r.par.JitterMean > 0 {
+			ackReady = ackReady.Add(units.Duration(r.jit.Exp(float64(r.par.JitterMean))))
+		}
+		ack := &ib.Packet{
+			Kind:      ib.KindAck,
+			Verb:      pkt.Verb,
+			Transport: ib.RC,
+			SrcNode:   r.node,
+			DestNode:  pkt.SrcNode,
+			QP:        pkt.QP,
+			MsgID:     pkt.MsgID,
+			LastInMsg: true,
+			SL:        pkt.SL,
+		}
+		r.ctrl.enqueue(&txPacket{
+			pkt:       ack,
+			readyAt:   ackReady,
+			wire:      r.wire,
+			occupancy: r.par.EngineOccupancy(ack.WireSize(), r.par.AckTurnaround),
+		})
+	}
+	if pkt.LastInMsg && r.OnRecvMessage != nil {
+		var visible units.Time
+		switch pkt.Verb {
+		case ib.VerbSend:
+			// RECV CQE: RX pipeline, payload DMA, CQE write, visible to
+			// the host's CQ polling.
+			visible = wireEnd.Add(r.par.RxPipeline + r.par.DMAWrite(pkt.Payload) + r.par.CQEDeliver)
+		case ib.VerbWrite:
+			// No CQE at the responder: data is host-visible once the DMA
+			// write lands.
+			visible = wireEnd.Add(r.par.RxPipeline + r.par.DMAWrite(pkt.Payload))
+		default:
+			visible = wireEnd
+		}
+		r.OnRecvMessage(pkt, wireEnd, visible)
+	}
+}
+
+func (r *RNIC) recvAck(pkt *ib.Packet, wireEnd units.Time) {
+	op, ok := r.pending[pkt.MsgID]
+	if !ok {
+		return // duplicate/unknown: UD-style tolerance
+	}
+	delete(r.pending, pkt.MsgID)
+	r.completeAt(wireEnd.Add(r.par.AckRxProc+r.par.CQEDeliver), op.onComplete)
+}
+
+// serveRead handles an incoming READ request: DMA read from host memory,
+// then the responder engine streams the payload back (Fig. 1a).
+func (r *RNIC) serveRead(pkt *ib.Packet, wireEnd units.Time) {
+	length := pkt.CreditBytes
+	ready := wireEnd.Add(r.par.DMARead(length))
+	segs := ib.Segment(length, r.par.MTU)
+	for i, seg := range segs {
+		rsp := &ib.Packet{
+			Kind:      ib.KindReadResponse,
+			Verb:      ib.VerbRead,
+			Transport: ib.RC,
+			SrcNode:   r.node,
+			DestNode:  pkt.SrcNode,
+			QP:        pkt.QP,
+			MsgID:     pkt.MsgID,
+			SeqInMsg:  i,
+			LastInMsg: i == len(segs)-1,
+			Payload:   seg,
+			SL:        pkt.SL,
+		}
+		r.ctrl.enqueue(&txPacket{
+			pkt:       rsp,
+			readyAt:   ready,
+			wire:      r.wire,
+			occupancy: r.par.EngineOccupancy(rsp.WireSize(), r.par.MessageCost),
+		})
+	}
+}
+
+func (r *RNIC) recvReadResponse(pkt *ib.Packet, wireEnd units.Time) {
+	if r.OnDeliver != nil {
+		r.OnDeliver(pkt, wireEnd)
+	}
+	if !pkt.LastInMsg {
+		return
+	}
+	op, ok := r.pending[pkt.MsgID]
+	if !ok {
+		return
+	}
+	delete(r.pending, pkt.MsgID)
+	// Fig. 1a: local DMA write of the fetched data precedes the CQE.
+	r.completeAt(wireEnd.Add(r.par.DMAWrite(pkt.Payload)+r.par.CQEDeliver), op.onComplete)
+}
+
+// loopEndpoint receives loopback traffic.
+type loopEndpoint struct{ r *RNIC }
+
+func (le loopEndpoint) DeliverArrival(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
+	r := le.r
+	if !pkt.LastInMsg {
+		return
+	}
+	op, ok := r.pending[pkt.MsgID]
+	if !ok {
+		return
+	}
+	delete(r.pending, pkt.MsgID)
+	// The loopback request is "finished" when the local RNIC has fully
+	// processed it (paper §IV); its CQE timing captures exactly the
+	// local-side overhead RPerf subtracts.
+	r.completeAt(arriveEnd.Add(r.par.CQEDeliver), op.onComplete)
+	if r.OnRecvMessage != nil {
+		r.OnRecvMessage(pkt, arriveEnd, arriveEnd.Add(r.par.CQEDeliver))
+	}
+}
+
+// engine is one send processing unit: a FIFO of packets injected onto a
+// wire, each occupying the engine for max(per-message cost, serialization).
+type engine struct {
+	r         *RNIC
+	label     string
+	queue     []*txPacket
+	busyUntil units.Time
+	scheduled *sim.Event // the single pending wake, if any
+	waiting   bool       // blocked on downstream credits
+	// reorder makes the engine serve the earliest-ready packet instead of
+	// strict FIFO. The responder (ctrl) engine uses it: a SEND's ACK is
+	// ready immediately on receipt, and must not stall behind an earlier
+	// WRITE's ACK that is still waiting for its payload DMA (Fig. 1b vs
+	// 1d). Data engines stay FIFO to preserve per-QP WQE ordering.
+	reorder bool
+}
+
+type txPacket struct {
+	pkt         *ib.Packet
+	readyAt     units.Time
+	occupancy   units.Duration
+	wire        *link.Wire
+	reserved    bool
+	onInjectEnd func(injEnd units.Time)
+}
+
+func newEngine(r *RNIC, name string) *engine {
+	return &engine{r: r, label: "rnic:" + name}
+}
+
+func (e *engine) enqueue(tx *txPacket) {
+	e.queue = append(e.queue, tx)
+	e.wake(e.r.eng.Now())
+}
+
+// wake keeps exactly one pending evaluation scheduled, moving it earlier
+// when needed. A single outstanding event per engine keeps the event count
+// linear in the packet count.
+func (e *engine) wake(at units.Time) {
+	if e.scheduled != nil {
+		if e.scheduled.Time() <= at {
+			return
+		}
+		e.r.eng.Cancel(e.scheduled)
+	}
+	e.scheduled = e.r.eng.At(at, e.label, func() {
+		e.scheduled = nil
+		e.process()
+	})
+}
+
+// pickIndex selects the queue entry to serve: FIFO for data engines,
+// earliest-ready for the reordering responder engine.
+func (e *engine) pickIndex() int {
+	if !e.reorder {
+		return 0
+	}
+	best := 0
+	for i, tx := range e.queue {
+		if tx.readyAt < e.queue[best].readyAt {
+			best = i
+		}
+	}
+	return best
+}
+
+func (e *engine) process() {
+	if e.waiting || len(e.queue) == 0 {
+		return
+	}
+	now := e.r.eng.Now()
+	idx := e.pickIndex()
+	head := e.queue[idx]
+	t := now
+	if head.readyAt > t {
+		t = head.readyAt
+	}
+	if e.busyUntil > t {
+		t = e.busyUntil
+	}
+	if head.wire.FreeAt() > t {
+		t = head.wire.FreeAt()
+	}
+	if t > now {
+		e.wake(t)
+		return
+	}
+	vl := e.r.vlOf(head.pkt)
+	if !head.reserved {
+		if !head.wire.Gate().TryReserve(vl, head.pkt.WireSize()) {
+			e.waiting = true
+			head.wire.Gate().ReserveWhenAvailable(vl, head.pkt.WireSize(), func() {
+				head.reserved = true
+				e.waiting = false
+				e.wake(e.r.eng.Now())
+			})
+			return
+		}
+	}
+	head.pkt.VL = vl
+	injEnd := head.wire.Send(head.pkt)
+	e.busyUntil = now.Add(head.occupancy)
+	e.queue = append(e.queue[:idx], e.queue[idx+1:]...)
+	if head.onInjectEnd != nil {
+		head.onInjectEnd(injEnd)
+	}
+	if len(e.queue) > 0 {
+		next := e.busyUntil
+		if now > next {
+			next = now
+		}
+		e.wake(next)
+	}
+}
+
+// QueueLen reports an engine's backlog (tests).
+func (e *engine) QueueLen() int { return len(e.queue) }
+
+// EngineBacklog returns the number of packets queued on engine i.
+func (r *RNIC) EngineBacklog(i int) int { return r.engines[i].QueueLen() }
+
+// PendingOps reports outstanding un-acked operations (tests).
+func (r *RNIC) PendingOps() int { return len(r.pending) }

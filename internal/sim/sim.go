@@ -1,0 +1,178 @@
+// Package sim implements the discrete-event simulation engine underneath
+// the InfiniBand fabric model.
+//
+// The engine is a classic calendar: events are closures scheduled at
+// absolute picosecond timestamps and executed in time order. Two properties
+// matter for reproducing the paper's measurements:
+//
+//   - Determinism. Ties (events at the same timestamp) execute in the order
+//     they were scheduled (FIFO), so a run is a pure function of its inputs.
+//   - Exactness. Timestamps are integers; there is no floating-point clock
+//     drift between, say, a link's serialization completion and the credit
+//     return it triggers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Event is a scheduled action.
+type Event struct {
+	at    units.Time
+	seq   uint64 // tie-break: FIFO among equal timestamps
+	fn    func()
+	index int // heap index; -1 once popped or canceled
+	label string
+}
+
+// Time reports when the event fires.
+func (e *Event) Time() units.Time { return e.at }
+
+// Label reports the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	now     units.Time
+	queue   eventHeap
+	seq     uint64
+	ran     uint64
+	stopped bool
+	// Trace, when non-nil, is invoked before each event executes. Used by
+	// debugging tools and the engine's own tests.
+	Trace func(at units.Time, label string)
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Processed reports how many events have executed.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Pending reports how many events are scheduled but not yet executed.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past is a
+// programming error and panics, because it would silently corrupt causality.
+func (e *Engine) At(at units.Time, label string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", label, at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d units.Duration, label string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
+	}
+	return e.At(e.now.Add(d), label, fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event. It reports false when no
+// events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.index = -1
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	if e.Trace != nil {
+		e.Trace(ev.at, ev.label)
+	}
+	fn := ev.fn
+	ev.fn = nil
+	e.ran++
+	fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline units.Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events within the next d of simulated time.
+func (e *Engine) RunFor(d units.Duration) {
+	e.RunUntil(e.now.Add(d))
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var got []units.Time
+	for _, at := range []units.Time{500, 100, 300, 200, 400} {
+		at := at
+		e.At(at, "ev", func() { got = append(got, at) })
+	}
+	e.Run()
+	want := []units.Time{100, 200, 300, 400, 500}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTiesAreFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(1000, "tie", func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	e := New()
+	e.At(250, "a", func() {
+		if e.Now() != 250 {
+			t.Errorf("Now inside event = %v, want 250", e.Now())
+		}
+		e.After(50, "b", func() {
+			if e.Now() != 300 {
+				t.Errorf("Now inside nested event = %v, want 300", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if e.Now() != 300 {
+		t.Fatalf("final Now = %v, want 300", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(100, "a", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.At(50, "late", func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After delay should panic")
+		}
+	}()
+	e.After(-1, "neg", func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(100, "victim", func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []units.Time
+	var victims []*Event
+	for _, at := range []units.Time{10, 20, 30, 40, 50, 60} {
+		at := at
+		ev := e.At(at, "ev", func() { got = append(got, at) })
+		if at == 30 || at == 50 {
+			victims = append(victims, ev)
+		}
+	}
+	for _, v := range victims {
+		e.Cancel(v)
+	}
+	e.Run()
+	want := []units.Time{10, 20, 40, 60}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []units.Time
+	for _, at := range []units.Time{100, 200, 300} {
+		at := at
+		e.At(at, "ev", func() { fired = append(fired, at) })
+	}
+	e.RunUntil(200)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want two events", fired)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("Now = %v, want 200", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("remaining event did not fire")
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := New()
+	e.RunUntil(5000)
+	if e.Now() != 5000 {
+		t.Fatalf("Now = %v, want 5000", e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := New()
+	count := 0
+	e.At(100, "a", func() { count++ })
+	e.At(900, "b", func() { count++ })
+	e.RunFor(500)
+	if count != 1 || e.Now() != 500 {
+		t.Fatalf("count=%d now=%v, want 1 and 500", count, e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	e.At(1, "a", func() { count++; e.Stop() })
+	e.At(2, "b", func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt the run: count=%d", count)
+	}
+	e.Run() // resume
+	if count != 2 {
+		t.Fatalf("resume failed: count=%d", count)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 10; i++ {
+		e.At(units.Time(i), "ev", func() {})
+	}
+	e.Run()
+	if e.Processed() != 10 {
+		t.Fatalf("Processed = %d, want 10", e.Processed())
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	e := New()
+	var labels []string
+	e.Trace = func(at units.Time, label string) { labels = append(labels, label) }
+	e.At(1, "first", func() {})
+	e.At(2, "second", func() {})
+	e.Run()
+	if len(labels) != 2 || labels[0] != "first" || labels[1] != "second" {
+		t.Fatalf("trace = %v", labels)
+	}
+}
+
+// Property: for any batch of (time, id) pairs, execution order equals the
+// stable sort by time of the scheduling order.
+func TestPropertyStableTimeOrder(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New()
+		type rec struct {
+			at  units.Time
+			idx int
+		}
+		var want []rec
+		var got []rec
+		for i, raw := range times {
+			at := units.Time(raw % 64) // force many ties
+			want = append(want, rec{at, i})
+			i := i
+			e.At(at, "p", func() { got = append(got, rec{at, i}) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		e.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := New()
+	ev := e.At(42, "labeled", func() {})
+	if ev.Time() != 42 || ev.Label() != "labeled" {
+		t.Fatalf("accessors: %v %q", ev.Time(), ev.Label())
+	}
+	e.Run()
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// BandwidthMeter accumulates delivered payload bytes over a measurement
+// window and reports goodput, the metric the paper plots for BSGs
+// (Figures 5, 7b, 9, 13).
+type BandwidthMeter struct {
+	bytes    units.ByteSize
+	messages uint64
+	start    units.Time
+	end      units.Time
+	started  bool
+}
+
+// NewBandwidthMeter returns an empty meter.
+func NewBandwidthMeter() *BandwidthMeter { return &BandwidthMeter{} }
+
+// Open marks the beginning of the measurement window. Bytes recorded before
+// Open are discarded, which is how experiments exclude warmup traffic.
+func (m *BandwidthMeter) Open(at units.Time) {
+	m.start = at
+	m.end = at
+	m.bytes = 0
+	m.messages = 0
+	m.started = true
+}
+
+// Record notes the delivery of a message's payload at the given time.
+func (m *BandwidthMeter) Record(at units.Time, payload units.ByteSize) {
+	if !m.started {
+		return
+	}
+	if at < m.start {
+		return
+	}
+	m.bytes += payload
+	m.messages++
+	if at > m.end {
+		m.end = at
+	}
+}
+
+// Close marks the end of the measurement window.
+func (m *BandwidthMeter) Close(at units.Time) {
+	if m.started && at > m.end {
+		m.end = at
+	}
+}
+
+// Bytes reports the payload bytes delivered inside the window.
+func (m *BandwidthMeter) Bytes() units.ByteSize { return m.bytes }
+
+// Messages reports the number of messages delivered inside the window.
+func (m *BandwidthMeter) Messages() uint64 { return m.messages }
+
+// Window reports the measurement window duration.
+func (m *BandwidthMeter) Window() units.Duration { return m.end.Sub(m.start) }
+
+// Goodput reports payload bandwidth across the window.
+func (m *BandwidthMeter) Goodput() units.Bandwidth {
+	d := m.Window()
+	if d <= 0 {
+		return 0
+	}
+	return units.Rate(m.bytes, d)
+}
+
+// MessageRate reports delivered messages per second.
+func (m *BandwidthMeter) MessageRate() float64 {
+	d := m.Window()
+	if d <= 0 {
+		return 0
+	}
+	return float64(m.messages) / d.Seconds()
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdErr returns the standard error of the mean of xs.
+func StdErr(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestBandwidthMeterBasic(t *testing.T) {
+	m := NewBandwidthMeter()
+	m.Open(0)
+	// Deliver 7000 bytes over 1 us => 56 Gb/s.
+	m.Record(units.Time(0).Add(500*units.Nanosecond), 3500)
+	m.Record(units.Time(units.Microsecond), 3500)
+	m.Close(units.Time(units.Microsecond))
+	if got := m.Goodput().Gigabits(); math.Abs(got-56) > 0.01 {
+		t.Fatalf("goodput = %v, want 56", got)
+	}
+	if m.Messages() != 2 || m.Bytes() != 7000 {
+		t.Fatalf("messages=%d bytes=%d", m.Messages(), m.Bytes())
+	}
+}
+
+func TestBandwidthMeterIgnoresPreWarmup(t *testing.T) {
+	m := NewBandwidthMeter()
+	m.Record(100, 999) // before Open: dropped
+	m.Open(1000)
+	m.Record(500, 999) // before window start: dropped
+	m.Record(2000, 100)
+	m.Close(3000)
+	if m.Bytes() != 100 {
+		t.Fatalf("bytes = %d, want 100", m.Bytes())
+	}
+}
+
+func TestBandwidthMeterEmptyWindow(t *testing.T) {
+	m := NewBandwidthMeter()
+	m.Open(0)
+	if m.Goodput() != 0 || m.MessageRate() != 0 {
+		t.Fatal("empty window should report zero")
+	}
+}
+
+func TestBandwidthMeterMessageRate(t *testing.T) {
+	m := NewBandwidthMeter()
+	m.Open(0)
+	for i := 1; i <= 1000; i++ {
+		m.Record(units.Time(i)*units.Time(units.Microsecond), 64)
+	}
+	m.Close(units.Time(units.Millisecond))
+	// 1000 messages in 1 ms => 1e6 msg/s.
+	if got := m.MessageRate(); math.Abs(got-1e6)/1e6 > 0.01 {
+		t.Fatalf("rate = %v, want 1e6", got)
+	}
+}
+
+func TestBandwidthMeterCloseExtendsWindow(t *testing.T) {
+	m := NewBandwidthMeter()
+	m.Open(0)
+	m.Record(units.Time(0).Add(100*units.Nanosecond), 7000)
+	m.Close(units.Time(units.Microsecond))
+	if got := m.Goodput().Gigabits(); math.Abs(got-56) > 0.1 {
+		t.Fatalf("goodput = %v, want 56", got)
+	}
+}
+
+func TestMeanAndStdErr(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	xs := []float64{2, 4, 6}
+	if Mean(xs) != 4 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if StdErr([]float64{5}) != 0 {
+		t.Fatal("StdErr of single sample should be 0")
+	}
+	se := StdErr(xs)
+	// sample stddev = 2, stderr = 2/sqrt(3)
+	if math.Abs(se-2/math.Sqrt(3)) > 1e-12 {
+		t.Fatalf("StdErr = %v", se)
+	}
+}

@@ -1,0 +1,244 @@
+// Package stats provides the latency and bandwidth accounting used by the
+// measurement tools. The centerpiece is a high-dynamic-range histogram that
+// records per-packet round-trip times with bounded relative error, exactly
+// what is needed to report the paper's median and 99.9th-percentile tails
+// without storing every sample.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// hdrSubBucketBits controls histogram precision: 2^6 = 64 sub-buckets per
+// power of two, bounding relative quantile error to about 1.6%.
+const hdrSubBucketBits = 6
+
+const hdrSubBuckets = 1 << hdrSubBucketBits
+
+// Histogram records non-negative int64 values (the simulator uses
+// picoseconds) in logarithmic buckets with linear sub-buckets, in the style
+// of HdrHistogram. The zero value is ready to use.
+type Histogram struct {
+	counts [64 - hdrSubBucketBits][hdrSubBuckets]uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+func bucketOf(v int64) (int, int) {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < hdrSubBuckets {
+		return 0, int(u)
+	}
+	exp := bits.Len64(u) - hdrSubBucketBits // >= 1
+	return exp, int(u >> uint(exp))
+}
+
+// bucketLow returns the smallest value mapped to bucket (exp, sub).
+func bucketLow(exp, sub int) int64 {
+	return int64(sub) << uint(exp)
+}
+
+// bucketMid returns a representative value for the bucket: its midpoint.
+func bucketMid(exp, sub int) int64 {
+	lo := bucketLow(exp, sub)
+	width := int64(1) << uint(exp)
+	return lo + width/2
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if h.total == 0 && h.min == 0 && h.max == 0 {
+		// Zero-value histogram: initialize min sentinel lazily.
+		h.min = math.MaxInt64
+	}
+	if v < 0 {
+		v = 0
+	}
+	exp, sub := bucketOf(v)
+	h.counts[exp][sub]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordDuration adds a duration observation in picoseconds.
+func (h *Histogram) RecordDuration(d units.Duration) { h.Record(int64(d)) }
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded value, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, or 0 when empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1). The
+// result's relative error is bounded by the sub-bucket resolution (~1.6%).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for exp := range h.counts {
+		for sub, c := range h.counts[exp] {
+			if c == 0 {
+				continue
+			}
+			seen += c
+			if seen >= rank {
+				mid := bucketMid(exp, sub)
+				if mid < h.min {
+					mid = h.min
+				}
+				if mid > h.max {
+					mid = h.max
+				}
+				return mid
+			}
+		}
+	}
+	return h.max
+}
+
+// Median returns the 50th percentile.
+func (h *Histogram) Median() int64 { return h.Quantile(0.5) }
+
+// P999 returns the 99.9th percentile — the paper's tail metric.
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+// MedianDuration returns the median as a Duration.
+func (h *Histogram) MedianDuration() units.Duration { return units.Duration(h.Median()) }
+
+// P999Duration returns the 99.9th percentile as a Duration.
+func (h *Histogram) P999Duration() units.Duration { return units.Duration(h.P999()) }
+
+// QuantileDuration returns the q-quantile as a Duration.
+func (h *Histogram) QuantileDuration(q float64) units.Duration {
+	return units.Duration(h.Quantile(q))
+}
+
+// Merge adds all observations from other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if h.total == 0 {
+		h.min = math.MaxInt64
+	}
+	for exp := range other.counts {
+		for sub, c := range other.counts[exp] {
+			h.counts[exp][sub] += c
+		}
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	*h = Histogram{min: math.MaxInt64}
+}
+
+// Summary is a compact description of a latency distribution, in the units
+// the paper reports (nanoseconds / microseconds are derived by the caller).
+type Summary struct {
+	Count  uint64
+	Min    units.Duration
+	Median units.Duration
+	P99    units.Duration
+	P999   units.Duration
+	Max    units.Duration
+	Mean   units.Duration
+}
+
+// Summarize extracts a Summary from the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.total,
+		Min:    units.Duration(h.Min()),
+		Median: h.MedianDuration(),
+		P99:    h.QuantileDuration(0.99),
+		P999:   h.P999Duration(),
+		Max:    units.Duration(h.Max()),
+		Mean:   units.Duration(math.Round(h.Mean())),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99.9=%v max=%v", s.Count, s.Median, s.P999, s.Max)
+}
+
+// ExactQuantile computes the q-quantile of raw samples by sorting. It exists
+// so tests can verify the histogram's approximation error.
+func ExactQuantile(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}

@@ -1,0 +1,264 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/units"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Median() != 0 || h.P999() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestZeroValueHistogramUsable(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	h.Record(200)
+	if h.Min() != 100 || h.Max() != 200 || h.Count() != 2 {
+		t.Fatalf("zero-value histogram broken: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(432)
+	if h.Median() != 432 || h.P999() != 432 || h.Min() != 432 || h.Max() != 432 {
+		t.Fatalf("single-value stats wrong: p50=%d p999=%d", h.Median(), h.P999())
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	// Values below the sub-bucket count are stored exactly.
+	h := NewHistogram()
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	// rank = ceil(0.5*64) = 32; the 32nd smallest of 0..63 is 31.
+	if h.Quantile(0.5) != 31 {
+		t.Fatalf("p50 = %d, want 31", h.Quantile(0.5))
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("negative value should clamp to zero")
+	}
+}
+
+func TestQuantileAccuracyUniform(t *testing.T) {
+	h := NewHistogram()
+	var samples []int64
+	src := rng.New(5)
+	for i := 0; i < 100000; i++ {
+		v := int64(src.Intn(10_000_000)) // up to 10 us in ps
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := float64(ExactQuantile(samples, q))
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("q=%v: got %v, want %v (err %.2f%%)", q, got, want, 100*math.Abs(got-want)/want)
+		}
+	}
+}
+
+func TestQuantileAccuracyExponential(t *testing.T) {
+	h := NewHistogram()
+	var samples []int64
+	src := rng.New(7)
+	for i := 0; i < 100000; i++ {
+		v := int64(src.Exp(500_000)) // mean 500 ns in ps
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.999} {
+		got := float64(h.Quantile(q))
+		want := float64(ExactQuantile(samples, q))
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("q=%v: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileBoundsRespectMinMax(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	h.Record(1001)
+	if h.Quantile(0) != 1000 {
+		t.Errorf("q=0 should be min")
+	}
+	if h.Quantile(1) != 1001 {
+		t.Errorf("q=1 should be max")
+	}
+	if got := h.Quantile(0.5); got < 1000 || got > 1001 {
+		t.Errorf("quantile escaped [min,max]: %d", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{100, 200, 300} {
+		h.Record(v)
+	}
+	if h.Mean() != 200 {
+		t.Fatalf("mean = %v, want 200", h.Mean())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	combined := NewHistogram()
+	src := rng.New(11)
+	for i := 0; i < 5000; i++ {
+		v := int64(src.Intn(1_000_000))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		combined.Record(v)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(NewHistogram())
+	if a.Count() != combined.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), combined.Count())
+	}
+	if a.Median() != combined.Median() || a.P999() != combined.P999() {
+		t.Fatal("merged quantiles differ from combined recording")
+	}
+	if a.Min() != combined.Min() || a.Max() != combined.Max() {
+		t.Fatal("merged min/max differ")
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	b.Record(777)
+	a.Merge(b)
+	if a.Min() != 777 || a.Max() != 777 || a.Count() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(123)
+	h.Reset()
+	if h.Count() != 0 || h.Min() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Record(55)
+	if h.Min() != 55 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000)
+	}
+	s := h.Summarize()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Median < 480_000 || s.Median > 520_000 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if s.P999 < s.Median {
+		t.Fatal("p999 < median")
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+// Property: histogram quantile is within bucket resolution of exact.
+func TestPropertyQuantileError(t *testing.T) {
+	f := func(raw []uint32, qSel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		samples := make([]int64, len(raw))
+		for i, r := range raw {
+			v := int64(r)
+			samples[i] = v
+			h.Record(v)
+		}
+		q := []float64{0.5, 0.9, 0.99, 0.999}[qSel%4]
+		got := h.Quantile(q)
+		want := ExactQuantile(samples, q)
+		if want == 0 {
+			return got <= 64 // sub-bucket resolution near zero
+		}
+		relErr := math.Abs(float64(got-want)) / float64(want)
+		return relErr <= 0.04 || math.Abs(float64(got-want)) <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCountAndBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := NewHistogram()
+		var mn, mx int64 = math.MaxInt64, 0
+		for _, r := range raw {
+			v := int64(r)
+			h.Record(v)
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if len(raw) == 0 {
+			return h.Count() == 0
+		}
+		return h.Count() == uint64(len(raw)) && h.Min() == mn && h.Max() == mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordDuration(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDuration(5 * units.Microsecond)
+	if h.MedianDuration() != 5*units.Microsecond {
+		t.Fatalf("median = %v", h.MedianDuration())
+	}
+	if h.QuantileDuration(1) != 5*units.Microsecond {
+		t.Fatalf("q1 = %v", h.QuantileDuration(1))
+	}
+}
+
+func TestExactQuantileEdgeCases(t *testing.T) {
+	if ExactQuantile(nil, 0.5) != 0 {
+		t.Fatal("nil samples")
+	}
+	s := []int64{3, 1, 2}
+	if ExactQuantile(s, 0) != 1 || ExactQuantile(s, 1) != 3 {
+		t.Fatal("min/max wrong")
+	}
+	if ExactQuantile(s, 0.5) != 2 {
+		t.Fatal("median wrong")
+	}
+	// input must not be mutated
+	if s[0] != 3 {
+		t.Fatal("ExactQuantile mutated input")
+	}
+}

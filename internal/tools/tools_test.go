@@ -1,0 +1,133 @@
+package tools_test
+
+import (
+	"testing"
+
+	"repro/internal/host"
+	"repro/internal/model"
+	"repro/internal/tools"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func hostsOnStar(t *testing.T, seed uint64) (*topology.Cluster, *host.Host, *host.Host) {
+	t.Helper()
+	c := topology.Star(model.HWTestbed(), 7, seed)
+	return c, host.New(c.NIC(0), c.Params.Host), host.New(c.NIC(6), c.Params.Host)
+}
+
+func TestPerftest64B(t *testing.T) {
+	// Fig. 6: Perftest reports ~2.20 us median / ~4.11 us tail at 64 B —
+	// an order of magnitude above the true ~0.43 us switch RTT.
+	c, cl, sv := hostsOnStar(t, 41)
+	p, err := tools.NewPerftest(cl, sv, 64, units.Time(units.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	c.Eng.RunUntil(units.Time(12 * units.Millisecond))
+	med := units.Duration(p.RTT().Median()).Microseconds()
+	tail := units.Duration(p.RTT().P999()).Microseconds()
+	if med < 1.8 || med > 2.7 {
+		t.Errorf("perftest 64B median = %.2f us, want ~2.2", med)
+	}
+	if tail < 3.0 || tail > 5.5 {
+		t.Errorf("perftest 64B p99.9 = %.2f us, want ~4.1", tail)
+	}
+}
+
+func TestPerftest4096B(t *testing.T) {
+	// Fig. 6: ~5.46 us median at 4096 B (payload DMA and serialization
+	// appear four and two times respectively).
+	c, cl, sv := hostsOnStar(t, 42)
+	p, err := tools.NewPerftest(cl, sv, 4096, units.Time(units.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	c.Eng.RunUntil(units.Time(15 * units.Millisecond))
+	med := units.Duration(p.RTT().Median()).Microseconds()
+	if med < 4.6 || med > 6.4 {
+		t.Errorf("perftest 4096B median = %.2f us, want ~5.5", med)
+	}
+}
+
+func TestQperf64B(t *testing.T) {
+	// Fig. 6: Qperf reports ~2.82 us at 64 B, mean only.
+	c, cl, sv := hostsOnStar(t, 43)
+	q, err := tools.NewQperf(cl, sv, 64, units.Time(units.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	c.Eng.RunUntil(units.Time(12 * units.Millisecond))
+	mean := q.MeanRTT().Microseconds()
+	if mean < 2.3 || mean > 3.4 {
+		t.Errorf("qperf 64B mean = %.2f us, want ~2.8", mean)
+	}
+	if q.Samples() == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestQperf4096B(t *testing.T) {
+	// Fig. 6: ~5.85 us at 4096 B.
+	c, cl, sv := hostsOnStar(t, 44)
+	q, err := tools.NewQperf(cl, sv, 4096, units.Time(units.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	c.Eng.RunUntil(units.Time(15 * units.Millisecond))
+	mean := q.MeanRTT().Microseconds()
+	if mean < 5.0 || mean > 7.0 {
+		t.Errorf("qperf 4096B mean = %.2f us, want ~5.9", mean)
+	}
+}
+
+func TestToolsVsRPerfOrdering(t *testing.T) {
+	// The paper's central methodological claim: both baseline tools
+	// report roughly 5-10x what RPerf isolates for the same switch.
+	c, cl, sv := hostsOnStar(t, 45)
+	p, _ := tools.NewPerftest(cl, sv, 64, 0)
+	p.Start()
+	c.Eng.RunUntil(units.Time(5 * units.Millisecond))
+	perftestMed := float64(p.RTT().Median())
+	// RPerf's one-to-one zero-load median through the switch is ~432 ns
+	// (verified in package rnic's tests).
+	const rperfNs = 432.0
+	if ratio := perftestMed / 1000 / rperfNs; ratio < 3 {
+		t.Errorf("perftest/rperf ratio = %.1f, want >= 3 (paper: ~5x)", ratio)
+	}
+}
+
+func TestToolValidation(t *testing.T) {
+	_, cl, sv := hostsOnStar(t, 46)
+	if _, err := tools.NewPerftest(cl, sv, 0, 0); err == nil {
+		t.Error("perftest with zero payload should fail")
+	}
+	if _, err := tools.NewQperf(cl, sv, -1, 0); err == nil {
+		t.Error("qperf with negative payload should fail")
+	}
+}
+
+func TestQperfMeanOnlyEmpty(t *testing.T) {
+	_, cl, sv := hostsOnStar(t, 47)
+	q, _ := tools.NewQperf(cl, sv, 64, 0)
+	if q.MeanRTT() != 0 {
+		t.Error("mean of no samples should be 0")
+	}
+}
+
+func TestPerftestStop(t *testing.T) {
+	c, cl, sv := hostsOnStar(t, 48)
+	p, _ := tools.NewPerftest(cl, sv, 64, 0)
+	p.Start()
+	c.Eng.RunUntil(units.Time(100 * units.Microsecond))
+	p.Stop()
+	n := p.RTT().Count()
+	c.Eng.RunUntil(units.Time(200 * units.Microsecond))
+	if got := p.RTT().Count(); got > n+1 {
+		t.Errorf("samples kept accumulating after Stop: %d -> %d", n, got)
+	}
+}

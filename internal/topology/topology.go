@@ -1,0 +1,157 @@
+// Package topology assembles clusters out of RNICs, links and switches:
+// the back-to-back pair of §VI-A, the single-ToR star of §V (seven hosts,
+// one switch), and the two-switch multi-hop setup of §VIII-B.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/ibswitch"
+	"repro/internal/link"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Cluster is a wired fabric ready to carry traffic.
+type Cluster struct {
+	Eng      *sim.Engine
+	Params   model.FabricParams
+	NICs     []*rnic.RNIC
+	Switches []*ibswitch.Switch
+	root     *rng.Source
+}
+
+// RNG derives a deterministic random stream for a cluster component.
+func (c *Cluster) RNG(label string) *rng.Source { return c.root.Split(label) }
+
+// NIC returns the RNIC of node i.
+func (c *Cluster) NIC(i int) *rnic.RNIC { return c.NICs[i] }
+
+// SetSL2VL installs the mapping fabric-wide (every switch and RNIC), the
+// way a subnet manager would.
+func (c *Cluster) SetSL2VL(t ib.SL2VL) {
+	for _, sw := range c.Switches {
+		sw.SetSL2VL(t)
+	}
+	for _, n := range c.NICs {
+		n.SetSL2VL(t)
+	}
+}
+
+// SetPolicy sets the scheduling policy on every switch.
+func (c *Cluster) SetPolicy(p ibswitch.Policy) {
+	for _, sw := range c.Switches {
+		sw.SetPolicy(p)
+	}
+}
+
+// SetVLArb installs VL arbitration tables on every switch.
+func (c *Cluster) SetVLArb(cfg ib.VLArbConfig) error {
+	for _, sw := range c.Switches {
+		if err := sw.SetVLArb(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetVLRateLimit caps a VL's bandwidth on every switch (extension;
+// see ibswitch.SetVLRateLimit).
+func (c *Cluster) SetVLRateLimit(vl ib.VL, rate units.Bandwidth, burst units.ByteSize) {
+	for _, sw := range c.Switches {
+		sw.SetVLRateLimit(vl, rate, burst)
+	}
+}
+
+func newCluster(par model.FabricParams, seed uint64) *Cluster {
+	return &Cluster{
+		Eng:    sim.New(),
+		Params: par,
+		root:   rng.New(seed),
+	}
+}
+
+func (c *Cluster) addNIC(i int) *rnic.RNIC {
+	n := rnic.New(c.Eng, ib.NodeID(i), c.Params.NIC, c.RNG(fmt.Sprintf("nic%d", i)))
+	c.NICs = append(c.NICs, n)
+	return n
+}
+
+// BackToBack connects two RNICs with a cable and no switch (§VI-A).
+func BackToBack(par model.FabricParams, seed uint64) *Cluster {
+	c := newCluster(par, seed)
+	a := c.addNIC(0)
+	b := c.addNIC(1)
+	// RNIC receive paths never back-pressure (see model.NICParams).
+	a.Attach(link.NewWire(c.Eng, "a->b", par.Link.Bandwidth, par.Link.Propagation, b, link.Unlimited{}))
+	b.Attach(link.NewWire(c.Eng, "b->a", par.Link.Bandwidth, par.Link.Propagation, a, link.Unlimited{}))
+	return c
+}
+
+// Star connects n hosts to one ToR switch (§V: the paper uses n = 7, with
+// node n-1 conventionally the destination server).
+func Star(par model.FabricParams, n int, seed uint64) *Cluster {
+	c := newCluster(par, seed)
+	sw := ibswitch.New(c.Eng, "tor", par.Switch, n, c.RNG("switch"))
+	c.Switches = append(c.Switches, sw)
+	for i := 0; i < n; i++ {
+		nic := c.addNIC(i)
+		// Host -> switch direction: the RNIC transmits into the switch's
+		// ingress buffer, governed by the port's credit gate.
+		nic.Attach(link.NewWire(c.Eng, fmt.Sprintf("n%d->tor", i),
+			par.Link.Bandwidth, par.Link.Propagation, sw.Ingress(i), sw.IngressGate(i)))
+		// Switch -> host direction.
+		sw.AttachPeer(i, par.Link, nic, link.Unlimited{})
+		sw.SetRoute(ib.NodeID(i), i)
+	}
+	return c
+}
+
+// TwoTier builds the multi-hop topology of §VIII-B: `up` hosts attach to
+// the upstream switch, `down` hosts to the downstream switch, and the two
+// switches connect with one cable. Node numbering: upstream hosts first,
+// then downstream hosts; the destination server of the paper's experiment
+// is the last downstream node.
+func TwoTier(par model.FabricParams, up, down int, seed uint64) *Cluster {
+	c := newCluster(par, seed)
+	s1 := ibswitch.New(c.Eng, "up", par.Switch, up+1, c.RNG("switch-up"))
+	s2 := ibswitch.New(c.Eng, "down", par.Switch, down+1, c.RNG("switch-down"))
+	c.Switches = append(c.Switches, s1, s2)
+
+	for i := 0; i < up; i++ {
+		nic := c.addNIC(i)
+		nic.Attach(link.NewWire(c.Eng, fmt.Sprintf("n%d->up", i),
+			par.Link.Bandwidth, par.Link.Propagation, s1.Ingress(i), s1.IngressGate(i)))
+		s1.AttachPeer(i, par.Link, nic, link.Unlimited{})
+	}
+	for j := 0; j < down; j++ {
+		node := up + j
+		nic := c.addNIC(node)
+		nic.Attach(link.NewWire(c.Eng, fmt.Sprintf("n%d->down", node),
+			par.Link.Bandwidth, par.Link.Propagation, s2.Ingress(j), s2.IngressGate(j)))
+		s2.AttachPeer(j, par.Link, nic, link.Unlimited{})
+	}
+
+	// Inter-switch trunk on each switch's last port.
+	t1, t2 := up, down
+	s1.AttachPeer(t1, par.Link, s2.Ingress(t2), s2.IngressGate(t2))
+	s2.AttachPeer(t2, par.Link, s1.Ingress(t1), s1.IngressGate(t1))
+
+	// Routes: each switch reaches its local hosts directly and everything
+	// else over the trunk.
+	for i := 0; i < up+down; i++ {
+		node := ib.NodeID(i)
+		if i < up {
+			s1.SetRoute(node, i)
+			s2.SetRoute(node, t2)
+		} else {
+			s1.SetRoute(node, t1)
+			s2.SetRoute(node, i-up)
+		}
+	}
+	return c
+}

@@ -1,0 +1,138 @@
+package topology_test
+
+import (
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/ibswitch"
+	"repro/internal/model"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+func TestBackToBackShape(t *testing.T) {
+	c := topology.BackToBack(model.HWTestbed(), 1)
+	if len(c.NICs) != 2 || len(c.Switches) != 0 {
+		t.Fatalf("back-to-back: %d NICs, %d switches", len(c.NICs), len(c.Switches))
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	c := topology.Star(model.HWTestbed(), 7, 1)
+	if len(c.NICs) != 7 || len(c.Switches) != 1 {
+		t.Fatalf("star: %d NICs, %d switches", len(c.NICs), len(c.Switches))
+	}
+	if c.Switches[0].NumPorts() != 7 {
+		t.Fatalf("switch ports = %d", c.Switches[0].NumPorts())
+	}
+}
+
+func TestTwoTierShape(t *testing.T) {
+	c := topology.TwoTier(model.HWTestbed(), 3, 4, 1)
+	if len(c.NICs) != 7 || len(c.Switches) != 2 {
+		t.Fatalf("two-tier: %d NICs, %d switches", len(c.NICs), len(c.Switches))
+	}
+}
+
+func sendAndWait(t *testing.T, c *topology.Cluster, src, dst int) {
+	t.Helper()
+	qp := c.NIC(src).CreateQP(ib.RC, ib.NodeID(dst), 0)
+	done := false
+	c.NIC(src).PostSend(qp, ib.VerbSend, 64, func(units.Time) { done = true })
+	c.Eng.Run()
+	if !done {
+		t.Fatalf("message %d->%d never completed", src, dst)
+	}
+}
+
+func TestStarAllPairsReachable(t *testing.T) {
+	c := topology.Star(model.HWTestbed(), 7, 2)
+	for src := 0; src < 7; src++ {
+		for dst := 0; dst < 7; dst++ {
+			if src == dst {
+				continue
+			}
+			sendAndWait(t, c, src, dst)
+		}
+	}
+}
+
+func TestTwoTierCrossSwitchRouting(t *testing.T) {
+	c := topology.TwoTier(model.HWTestbed(), 3, 4, 3)
+	// Up -> down, down -> up, and intra-switch pairs.
+	sendAndWait(t, c, 0, 6) // upstream host to downstream server
+	sendAndWait(t, c, 6, 0) // reverse
+	sendAndWait(t, c, 0, 1) // intra-upstream
+	sendAndWait(t, c, 3, 6) // intra-downstream
+}
+
+func TestTwoTierExtraHopAddsLatency(t *testing.T) {
+	par := model.OMNeTSim() // deterministic
+	c := topology.TwoTier(par, 3, 4, 4)
+	measure := func(src, dst int) units.Duration {
+		qp := c.NIC(src).CreateQP(ib.RC, ib.NodeID(dst), 0)
+		t0 := c.Eng.Now()
+		var rtt units.Duration
+		c.NIC(src).PostSend(qp, ib.VerbSend, 64, func(at units.Time) { rtt = at.Sub(t0) })
+		c.Eng.Run()
+		return rtt
+	}
+	oneHop := measure(3, 6)   // both on the downstream switch
+	twoHops := measure(0, 6)  // crosses the trunk
+	extra := twoHops - oneHop // expect ~2x (base latency + prop) per direction
+	want := 2 * (par.Switch.BaseLatency + par.Link.Propagation)
+	tol := 10 * units.Nanosecond
+	if extra < want-tol || extra > want+tol {
+		t.Fatalf("extra hop cost = %v, want ~%v", extra, want)
+	}
+}
+
+func TestSetPolicyAndQoSPropagate(t *testing.T) {
+	c := topology.TwoTier(model.HWTestbed(), 3, 4, 5)
+	c.SetPolicy(ibswitch.RR)
+	c.SetSL2VL(ib.DedicatedSL2VL())
+	if err := c.SetVLArb(ib.DedicatedVLArb()); err != nil {
+		t.Fatal(err)
+	}
+	bad := ib.VLArbConfig{Low: []ib.VLArbEntry{{VL: 0, Weight: 0}}}
+	if err := c.SetVLArb(bad); err == nil {
+		t.Fatal("invalid VLArb accepted")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() units.Duration {
+		c := topology.Star(model.HWTestbed(), 7, 99)
+		qp := c.NIC(0).CreateQP(ib.RC, 6, 0)
+		var rtt units.Duration
+		t0 := c.Eng.Now()
+		c.NIC(0).PostSend(qp, ib.VerbSend, 64, func(at units.Time) { rtt = at.Sub(t0) })
+		c.Eng.Run()
+		return rtt
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different results: %v vs %v", a, b)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	run := func(seed uint64) units.Duration {
+		c := topology.Star(model.HWTestbed(), 7, seed)
+		qp := c.NIC(0).CreateQP(ib.RC, 6, 0)
+		var rtt units.Duration
+		c.NIC(0).PostSend(qp, ib.VerbSend, 64, func(at units.Time) { rtt = units.Duration(at) })
+		c.Eng.Run()
+		return rtt
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds gave identical jitter (suspicious)")
+	}
+}
+
+func TestClusterRNGStable(t *testing.T) {
+	c1 := topology.Star(model.HWTestbed(), 7, 5)
+	c2 := topology.Star(model.HWTestbed(), 7, 5)
+	if c1.RNG("x").Uint64() != c2.RNG("x").Uint64() {
+		t.Fatal("cluster RNG derivation not deterministic")
+	}
+}

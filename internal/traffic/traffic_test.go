@@ -1,0 +1,181 @@
+package traffic_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// converged builds the paper's many-to-one setup on a 7-node star: nBSG
+// generators (nodes 0..nBSG-1) plus one LSG (node 5) all sending to node 6.
+func converged(t *testing.T, par model.FabricParams, nBSG int, bsgPayload units.ByteSize, seed uint64, dur units.Duration) (*stats.Histogram, []*traffic.BSG) {
+	t.Helper()
+	c := topology.Star(par, 7, seed)
+	warmup := units.Time(0).Add(dur / 4)
+	var bsgs []*traffic.BSG
+	for i := 0; i < nBSG; i++ {
+		b, err := traffic.NewBSG(c.NIC(i), c.NIC(6), traffic.BSGConfig{Payload: bsgPayload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsgs = append(bsgs, b)
+		b.Start(warmup)
+	}
+	lsg, err := traffic.NewLSG(c.NIC(5), 6, traffic.LSGConfig{Warmup: warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsg.Start()
+	end := units.Time(0).Add(dur)
+	c.Eng.RunUntil(end)
+	for _, b := range bsgs {
+		b.CloseAt(end)
+	}
+	return lsg.RTT(), bsgs
+}
+
+func TestConvergedOneBSGLowLatency(t *testing.T) {
+	// Fig. 7a, one BSG: a single sender cannot congest the egress
+	// (52 < 56 Gb/s), so the LSG sees ~0.6 us.
+	rtt, _ := converged(t, model.HWTestbed(), 1, 4096, 21, 8*units.Millisecond)
+	med := rtt.MedianDuration().Microseconds()
+	if med < 0.4 || med > 0.9 {
+		t.Errorf("LSG median with 1 BSG = %.2f us, want ~0.6", med)
+	}
+}
+
+func TestConvergedTwoBSGs(t *testing.T) {
+	// Fig. 7a, two BSGs: median ~5.2 us.
+	rtt, _ := converged(t, model.HWTestbed(), 2, 4096, 22, 10*units.Millisecond)
+	med := rtt.MedianDuration().Microseconds()
+	if med < 3.9 || med > 6.8 {
+		t.Errorf("LSG median with 2 BSGs = %.2f us, want ~5.2", med)
+	}
+}
+
+func TestConvergedFiveBSGs(t *testing.T) {
+	// Fig. 7a at five BSGs / Fig. 12 "Shared SL": median ~20-21 us.
+	rtt, bsgs := converged(t, model.HWTestbed(), 5, 4096, 23, 14*units.Millisecond)
+	med := rtt.MedianDuration().Microseconds()
+	if med < 16 || med > 26 {
+		t.Errorf("LSG median with 5 BSGs = %.2f us, want ~20-21", med)
+	}
+	// Fig. 7b at five BSGs: total ~48.4 Gb/s.
+	var total float64
+	for _, b := range bsgs {
+		total += b.Goodput().Gigabits()
+	}
+	if total < 45 || total > 51 {
+		t.Errorf("total BSG goodput = %.1f Gb/s, want ~48.4", total)
+	}
+}
+
+func TestConvergedLatencyProportionalToBSGs(t *testing.T) {
+	// The paper's headline: LSG latency grows with each added BSG.
+	m2, _ := converged(t, model.HWTestbed(), 2, 4096, 24, 6*units.Millisecond)
+	m4, _ := converged(t, model.HWTestbed(), 4, 4096, 24, 6*units.Millisecond)
+	if m4.Median() <= m2.Median() {
+		t.Errorf("4-BSG median %v <= 2-BSG median %v", m4.Median(), m2.Median())
+	}
+}
+
+func TestSmallBSGPayloadProtectsLSG(t *testing.T) {
+	// Fig. 8: with 64 B BSG payloads the senders cannot saturate the
+	// egress, so the LSG stays fast (~0.4-0.6 us)...
+	rtt64, bsgs64 := converged(t, model.HWTestbed(), 5, 64, 25, 6*units.Millisecond)
+	med := rtt64.MedianDuration().Microseconds()
+	if med > 1.0 {
+		t.Errorf("LSG median with 64 B BSGs = %.2f us, want < 1", med)
+	}
+	// ...but Fig. 9: total BSG bandwidth collapses to ~35% of link.
+	var total float64
+	for _, b := range bsgs64 {
+		total += b.Goodput().Gigabits()
+	}
+	if total < 17 || total > 24 {
+		t.Errorf("64 B total goodput = %.1f Gb/s, want ~19.6 (35%%)", total)
+	}
+}
+
+func TestLargeBSGPayloadHurtsLSG(t *testing.T) {
+	// Fig. 8 at 4096 B vs 64 B: the latency/bandwidth trade-off.
+	rtt4k, bsgs4k := converged(t, model.HWTestbed(), 5, 4096, 26, 8*units.Millisecond)
+	if rtt4k.MedianDuration().Microseconds() < 10 {
+		t.Errorf("LSG median with 4 KB BSGs = %.2f us, want >> 10",
+			rtt4k.MedianDuration().Microseconds())
+	}
+	var total float64
+	for _, b := range bsgs4k {
+		total += b.Goodput().Gigabits()
+	}
+	if total < 44 {
+		t.Errorf("4 KB total goodput = %.1f Gb/s, want ~48", total)
+	}
+}
+
+func TestPretendLSGOffersHighRate(t *testing.T) {
+	// The pretend-LSG alone (no competition) should push well above the
+	// VL1 share it will be limited to under contention.
+	c := topology.Star(model.HWTestbed(), 7, 27)
+	p, err := traffic.NewPretendLSG(c.NIC(0), c.NIC(6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup := units.Time(0).Add(units.Millisecond)
+	p.Start(warmup)
+	end := units.Time(0).Add(4 * units.Millisecond)
+	c.Eng.RunUntil(end)
+	p.CloseAt(end)
+	if g := p.Goodput().Gigabits(); g < 25 {
+		t.Errorf("pretend-LSG solo goodput = %.1f Gb/s, want > 25 (offered ~34)", g)
+	}
+}
+
+func TestBSGValidation(t *testing.T) {
+	c := topology.Star(model.HWTestbed(), 7, 28)
+	if _, err := traffic.NewBSG(c.NIC(0), c.NIC(6), traffic.BSGConfig{Payload: 0}); err == nil {
+		t.Error("zero payload should fail")
+	}
+	if _, err := traffic.NewLSG(c.NIC(0), 0, traffic.LSGConfig{}); err == nil {
+		t.Error("LSG to self should fail")
+	}
+}
+
+func TestBSGSendVerb(t *testing.T) {
+	c := topology.Star(model.HWTestbed(), 7, 29)
+	b, err := traffic.NewBSG(c.NIC(0), c.NIC(6), traffic.BSGConfig{Payload: 4096, UseSend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start(0)
+	end := units.Time(0).Add(units.Millisecond)
+	c.Eng.RunUntil(end)
+	b.CloseAt(end)
+	if g := b.Goodput().Gigabits(); g < 50 {
+		t.Errorf("SEND-based BSG goodput = %.1f Gb/s, want ~52", g)
+	}
+}
+
+func TestTwoMetersSameDestination(t *testing.T) {
+	// Observer chaining: two BSGs metering independently on one RNIC.
+	c := topology.Star(model.HWTestbed(), 7, 30)
+	b1, _ := traffic.NewBSG(c.NIC(0), c.NIC(6), traffic.BSGConfig{Payload: 4096})
+	b2, _ := traffic.NewBSG(c.NIC(1), c.NIC(6), traffic.BSGConfig{Payload: 4096})
+	b1.Start(0)
+	b2.Start(0)
+	end := units.Time(0).Add(2 * units.Millisecond)
+	c.Eng.RunUntil(end)
+	b1.CloseAt(end)
+	b2.CloseAt(end)
+	g1, g2 := b1.Goodput().Gigabits(), b2.Goodput().Gigabits()
+	if g1 < 15 || g2 < 15 {
+		t.Errorf("per-BSG goodputs %.1f / %.1f Gb/s: meters miscounting", g1, g2)
+	}
+	if tot := g1 + g2; tot > 56 {
+		t.Errorf("total %.1f exceeds link capacity: double counting", tot)
+	}
+}

@@ -1,0 +1,148 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializationKnownValues(t *testing.T) {
+	cases := []struct {
+		size   ByteSize
+		bw     Bandwidth
+		wantNs float64
+		tolNs  float64
+	}{
+		{64, 56 * Gbps, 9.1428, 0.01},
+		{116, 56 * Gbps, 16.571, 0.01},   // 64 B payload + 52 B header
+		{4148, 56 * Gbps, 592.571, 0.01}, // 4096 B payload + 52 B header
+		{1, 56 * Gbps, 0.1429, 0.001},
+		{1500, 10 * Gbps, 1200, 0.01},
+		{0, 56 * Gbps, 0, 0},
+	}
+	for _, c := range cases {
+		got := Serialization(c.size, c.bw).Nanoseconds()
+		if math.Abs(got-c.wantNs) > c.tolNs {
+			t.Errorf("Serialization(%d, %v) = %.4fns, want %.4fns", c.size, c.bw, got, c.wantNs)
+		}
+	}
+}
+
+func TestSerializationRoundsUp(t *testing.T) {
+	// 1 byte at 56 Gbps is 142.857 ps; must round to 143, never 142.
+	if got := Serialization(1, 56*Gbps); got != 143 {
+		t.Fatalf("Serialization(1B, 56Gbps) = %dps, want 143ps", got)
+	}
+}
+
+func TestSerializationMonotonic(t *testing.T) {
+	f := func(a, b uint16) bool {
+		s1, s2 := ByteSize(a), ByteSize(b)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		return Serialization(s1, 56*Gbps) <= Serialization(s2, 56*Gbps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializationAdditive(t *testing.T) {
+	// serialize(a)+serialize(b) >= serialize(a+b) (rounding makes parts no
+	// faster than the whole), and they differ by at most 1 ps.
+	f := func(a, b uint16) bool {
+		sa := Serialization(ByteSize(a), 56*Gbps)
+		sb := Serialization(ByteSize(b), 56*Gbps)
+		sab := Serialization(ByteSize(a)+ByteSize(b), 56*Gbps)
+		return sa+sb >= sab && sa+sb-sab <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateInvertsSerialization(t *testing.T) {
+	for _, size := range []ByteSize{64, 256, 1024, 4096, 65536} {
+		d := Serialization(size, 56*Gbps)
+		got := Rate(size, d)
+		if math.Abs(got.Gigabits()-56) > 0.01 {
+			t.Errorf("Rate(%d, %v) = %v, want ~56Gbps", size, d, got)
+		}
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	// 56 Gb/s for 1 us = 7000 bytes.
+	if got := BytesIn(56*Gbps, Microsecond); got != 7000 {
+		t.Errorf("BytesIn(56Gbps, 1us) = %d, want 7000", got)
+	}
+	if got := BytesIn(56*Gbps, 0); got != 0 {
+		t.Errorf("BytesIn(_, 0) = %d, want 0", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(5 * Microsecond)
+	if t1.Sub(t0) != 5*Microsecond {
+		t.Fatalf("Sub = %v, want 5us", t1.Sub(t0))
+	}
+	if t1.Microseconds() != 5 {
+		t.Fatalf("Microseconds = %v, want 5", t1.Microseconds())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ps"},
+		{Nanoseconds(9.14), "9.14ns"},
+		{Microseconds(5.2), "5.20us"},
+		{15 * Millisecond, "15.000ms"},
+		{2 * Second, "2.0000s"},
+		{-Nanosecond, "-1.00ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		b    ByteSize
+		want string
+	}{
+		{64, "64B"},
+		{32 * KB, "32KB"},
+		{16 * MB, "16MB"},
+		{1025, "1025B"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := (56 * Gbps).String(); got != "56Gbps" {
+		t.Errorf("String = %q, want 56Gbps", got)
+	}
+	if got := (100 * Mbps).String(); got != "100Mbps" {
+		t.Errorf("String = %q, want 100Mbps", got)
+	}
+}
+
+func TestNanosecondsConstructors(t *testing.T) {
+	if Nanoseconds(1.5) != 1500*Picosecond {
+		t.Error("Nanoseconds(1.5) != 1500ps")
+	}
+	if Microseconds(0.001) != Nanosecond {
+		t.Error("Microseconds(0.001) != 1ns")
+	}
+}

@@ -1,0 +1,130 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cl := repro.NewCluster(repro.HWTestbed(), 7, 1)
+	rtt, err := cl.MeasureRTT(0, 6, repro.RTTConfig{Payload: 64, Samples: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt.Samples != 500 {
+		t.Fatalf("samples = %d", rtt.Samples)
+	}
+	med := rtt.Median.Nanoseconds()
+	if med < 390 || med > 480 {
+		t.Fatalf("switch RTT median = %.0f ns, want ~432", med)
+	}
+	if rtt.LocalOverheadMedian <= 0 {
+		t.Fatal("local overhead not reported")
+	}
+}
+
+func TestBackToBackFacade(t *testing.T) {
+	cl := repro.NewBackToBack(repro.HWTestbed(), 2)
+	rtt, err := cl.MeasureRTT(0, 1, repro.RTTConfig{Samples: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med := rtt.Median.Nanoseconds(); med < 12 || med > 35 {
+		t.Fatalf("back-to-back median = %.0f ns, want ~20", med)
+	}
+}
+
+func TestBulkAndProbeTogether(t *testing.T) {
+	cl := repro.NewCluster(repro.HWTestbed(), 7, 3)
+	var flows []*repro.BulkFlow
+	for i := 0; i < 2; i++ {
+		f, err := cl.StartBulkFlow(i, 6, 4096, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, f)
+	}
+	cl.Run(2 * repro.Millisecond)
+	probe, err := cl.StartLatencyProbe(5, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(5 * repro.Millisecond)
+	s := probe.Summary()
+	if us := s.Median.Microseconds(); us < 3.5 || us > 8 {
+		t.Fatalf("2-BSG probe median = %.1f us, want ~5-6", us)
+	}
+	var total float64
+	for _, f := range flows {
+		total += f.Goodput(cl).Gigabits()
+	}
+	if total < 48 || total > 53 {
+		t.Fatalf("2-BSG total = %.1f Gb/s, want ~51", total)
+	}
+}
+
+func TestQoSFacade(t *testing.T) {
+	cl := repro.NewCluster(repro.HWTestbed(), 7, 4)
+	if err := cl.UseDedicatedQoS(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cl.StartBulkFlow(i, 6, 4096, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Run(2 * repro.Millisecond)
+	probe, err := cl.StartLatencyProbe(5, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(5 * repro.Millisecond)
+	if us := probe.Summary().Median.Microseconds(); us > 1.6 {
+		t.Fatalf("dedicated-QoS probe median = %.2f us, want ~0.7", us)
+	}
+}
+
+func TestToolFacades(t *testing.T) {
+	cl := repro.NewCluster(repro.HWTestbed(), 7, 5)
+	pf, err := cl.MeasurePerftest(0, 6, 64, 4*repro.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us := pf.Median.Microseconds(); us < 1.8 || us > 2.8 {
+		t.Fatalf("perftest median = %.2f us", us)
+	}
+	qm, err := cl.MeasureQperf(1, 6, 64, 4*repro.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us := qm.Microseconds(); us < 2.2 || us > 3.6 {
+		t.Fatalf("qperf mean = %.2f us", us)
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	tbl, err := repro.RunExperiment("fig7b", repro.QuickExperimentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "fig7b" || len(tbl.Rows) != 5 {
+		t.Fatalf("unexpected table: id=%s rows=%d", tbl.ID, len(tbl.Rows))
+	}
+	if _, err := repro.RunExperiment("nope", repro.QuickExperimentOptions()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestTwoTierFacade(t *testing.T) {
+	cl := repro.NewTwoTier(repro.OMNeTSim(), 3, 4, 6)
+	cl.SetPolicy(repro.RR)
+	rtt, err := cl.MeasureRTT(0, 6, repro.RTTConfig{Samples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two traversals per direction: ~840 ns zero-load RTT.
+	if med := rtt.Median.Nanoseconds(); med < 780 || med > 920 {
+		t.Fatalf("two-tier zero-load median = %.0f ns, want ~845", med)
+	}
+}
