@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all vet build test race cover bench bench-queue bench-sweep golden ci
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race enforces the concurrency contract of the parallel scenario runner
+# (internal/experiments/runner.go): scenario runs share no mutable state.
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-queue compares the indexed 4-ary event queue against the seed's
+# container/heap baseline (see internal/sim/queue_bench_test.go).
+bench-queue:
+	$(GO) test -run XXX -bench 'BenchmarkQueue' -benchtime 2s ./internal/sim/
+
+# bench-sweep measures the parallel runner against the sequential path on
+# a Fig. 7a-shaped sweep.
+bench-sweep:
+	$(GO) test -run XXX -bench 'BenchmarkSweep' -benchtime 5x .
+
+# golden regenerates the determinism golden file after an intentional
+# model change.
+golden:
+	$(GO) test ./internal/experiments/ -run TestDeterminismGoldenFile -update
+
+ci: vet build test race cover

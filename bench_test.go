@@ -169,6 +169,36 @@ func BenchmarkAblationSingleEngine(b *testing.B) {
 	b.ReportMetric(med, "biased_p50_ns")
 }
 
+// --- Parallel scenario runner ---------------------------------------------
+
+// benchSweep regenerates a Fig. 7a-shaped converged sweep (six scenarios ×
+// two seeds) with the given worker-pool size. On an N-core machine the
+// parallel variant approaches N× the sequential rate; the tables are
+// byte-identical either way (see internal/experiments/runner.go and the
+// determinism golden tests). Compare:
+//
+//	go test -bench 'BenchmarkSweep' -benchtime 5x .
+func benchSweep(b *testing.B, workers int) {
+	opts := experiments.Options{
+		Measure:  units.Millisecond,
+		Warmup:   250 * units.Microsecond,
+		Seeds:    []uint64{1, 2},
+		Parallel: workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7a(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSequential is the single-worker reference path.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel uses one worker per available CPU.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // --- Micro-benchmarks of the substrate ------------------------------------
 
 // BenchmarkSimulatorEventRate measures raw event throughput of the

@@ -4,10 +4,15 @@
 // Usage:
 //
 //	ibbench [-fig all|fig4|fig5|...|fig13|eq2] [-measure 12ms] [-warmup 3ms]
-//	        [-seeds 3] [-csv dir]
+//	        [-seeds 3] [-parallel 0] [-csv dir]
 //
 // Output is an aligned text table per experiment; -csv additionally writes
 // one CSV file per experiment into the given directory.
+//
+// -parallel sets the worker-pool size for fanning scenario runs across
+// CPUs (0 = one worker per CPU, 1 = sequential). Tables are byte-identical
+// regardless of the setting: every scenario run owns its own engine and
+// RNG stream, and results are reduced in job order.
 package main
 
 import (
@@ -27,12 +32,14 @@ func main() {
 	measure := flag.Duration("measure", 12*time.Millisecond, "simulated measurement window")
 	warmup := flag.Duration("warmup", 3*time.Millisecond, "simulated warmup before measuring")
 	seeds := flag.Int("seeds", 3, "number of seeds to average (paper: 3 runs)")
+	parallel := flag.Int("parallel", 0, "scenario worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	flag.Parse()
 
 	opts := experiments.Options{
-		Measure: units.Duration(measure.Nanoseconds()) * units.Nanosecond,
-		Warmup:  units.Duration(warmup.Nanoseconds()) * units.Nanosecond,
+		Measure:  units.Duration(measure.Nanoseconds()) * units.Nanosecond,
+		Warmup:   units.Duration(warmup.Nanoseconds()) * units.Nanosecond,
+		Parallel: *parallel,
 	}
 	for s := 1; s <= *seeds; s++ {
 		opts.Seeds = append(opts.Seeds, uint64(s))

@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	ibsim [-profile hw|sim] [-topology star|twotier] [-policy fcfs|rr|vlarb]
+//	ibsim [-profile hw|sim] [-topology star|twotier] [-policy fcfs|rr|vlarb|spf]
 //	      [-qos] [-bsgs 5] [-bsg-payload 4096] [-pretend] [-duration 10ms]
-//	      [-seed 1]
+//	      [-seed 1] [-runs 1] [-parallel 0]
+//
+// -runs repeats the configured scenario under consecutive seeds (seed,
+// seed+1, ...) and reports each run plus the average, the same protocol the
+// paper uses for its three-run figures. -parallel sizes the worker pool the
+// runs fan out across (0 = one worker per CPU, 1 = sequential); results are
+// byte-identical either way because every run owns an independent engine
+// and RNG stream.
 package main
 
 import (
@@ -15,104 +22,122 @@ import (
 	"os"
 	"time"
 
-	"repro"
+	"repro/internal/experiments"
+	"repro/internal/ib"
+	"repro/internal/ibswitch"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 func main() {
 	profile := flag.String("profile", "hw", "hw (SX6012) or sim (OMNeT-like)")
 	topo := flag.String("topology", "star", "star or twotier")
-	policy := flag.String("policy", "fcfs", "fcfs, rr or vlarb")
+	policy := flag.String("policy", "fcfs", "fcfs, rr, vlarb or spf")
 	qos := flag.Bool("qos", false, "dedicated SL/VL QoS (maps SL1 to high-priority VL1)")
 	bsgs := flag.Int("bsgs", 5, "bulk generators")
 	bsgPayload := flag.Int64("bsg-payload", 4096, "bulk message size")
 	pretend := flag.Bool("pretend", false, "replace one BSG with a pretend-LSG (requires -qos)")
 	duration := flag.Duration("duration", 10*time.Millisecond, "simulated run length")
-	seed := flag.Uint64("seed", 1, "random seed")
+	seed := flag.Uint64("seed", 1, "random seed of the first run")
+	runs := flag.Int("runs", 1, "number of seeded runs to average")
+	parallel := flag.Int("parallel", 0, "worker pool size for the runs (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	par := repro.HWTestbed()
+	sc := experiments.Scenario{
+		Fabric:   model.HWTestbed(),
+		BSGBytes: units.ByteSize(*bsgPayload),
+		LSG:      true,
+	}
 	if *profile == "sim" {
-		par = repro.OMNeTSim()
+		sc.Fabric = model.OMNeTSim()
 	}
 
-	var cl *repro.Cluster
-	var bsgSrc []int
-	lsgSrc, dst := 5, 6
+	maxBSGs := 5 // both topologies expose five bulk-source slots
 	switch *topo {
 	case "star":
-		cl = repro.NewCluster(par, 7, *seed)
-		bsgSrc = []int{0, 1, 2, 3, 4}
+		sc.Topo = experiments.TopoStar
 	case "twotier":
-		cl = repro.NewTwoTier(par, 3, 4, *seed)
-		bsgSrc = []int{0, 1, 3, 4, 5}
-		lsgSrc = 2
+		sc.Topo = experiments.TopoTwoTier
 	default:
 		fatal(fmt.Errorf("unknown topology %q", *topo))
 	}
 
 	switch *policy {
 	case "fcfs":
-		cl.SetPolicy(repro.FCFS)
+		sc.Policy = ibswitch.FCFS
 	case "rr":
-		cl.SetPolicy(repro.RR)
+		sc.Policy = ibswitch.RR
 	case "vlarb":
-		cl.SetPolicy(repro.VLArb)
+		sc.Policy = ibswitch.VLArb
+	case "spf":
+		sc.Policy = ibswitch.SPF
 	default:
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
-	lsgSL := uint8(0)
 	if *qos {
-		if err := cl.UseDedicatedQoS(); err != nil {
-			fatal(err)
-		}
-		lsgSL = 1
+		arb := ib.DedicatedVLArb()
+		sc.Policy = ibswitch.VLArb
+		sc.SL2VL = ib.DedicatedSL2VL()
+		sc.VLArb = &arb
+		sc.BSGSL = 0
+		sc.LSGSL = 1
 	}
 
-	n := *bsgs
-	if n > len(bsgSrc) {
-		n = len(bsgSrc)
+	sc.NumBSGs = *bsgs
+	if sc.NumBSGs > maxBSGs {
+		sc.NumBSGs = maxBSGs
 	}
-	if *pretend && n > 0 {
-		n--
-	}
-	var flows []*repro.BulkFlow
-	for i := 0; i < n; i++ {
-		f, err := cl.StartBulkFlow(bsgSrc[i], dst, repro.ByteSize(*bsgPayload), 0)
-		if err != nil {
-			fatal(err)
-		}
-		flows = append(flows, f)
-	}
-	var pretendFlow *repro.BulkFlow
 	if *pretend {
-		f, err := cl.StartPretendLSG(bsgSrc[len(bsgSrc)-1], dst, lsgSL)
-		if err != nil {
-			fatal(err)
+		sc.Pretend = true
+		if sc.NumBSGs > 0 {
+			sc.NumBSGs-- // the pretend LSG takes the last bulk-source slot
 		}
-		pretendFlow = f
 	}
-	probe, err := cl.StartLatencyProbe(lsgSrc, dst, lsgSL)
+
+	opts := experiments.Options{
+		Measure:  units.Duration(duration.Nanoseconds()) * units.Nanosecond,
+		Parallel: *parallel,
+	}
+	for r := 0; r < *runs; r++ {
+		opts.Seeds = append(opts.Seeds, *seed+uint64(r))
+	}
+
+	results, err := experiments.RunSeeds(sc, opts)
 	if err != nil {
 		fatal(err)
 	}
 
-	cl.Run(repro.Duration(duration.Nanoseconds()) * repro.Nanosecond)
+	fmt.Printf("ibsim: profile=%s topology=%s policy=%s qos=%v runs=%d\n",
+		*profile, *topo, sc.Policy, *qos, *runs)
+	var meds, tails, totals []float64
+	for i, res := range results {
+		printRun(fmt.Sprintf("seed %d", opts.Seeds[i]), res, sc.Pretend)
+		s := res.LSG
+		meds = append(meds, s.Median.Microseconds())
+		tails = append(tails, s.P999.Microseconds())
+		totals = append(totals, res.Total)
+	}
+	if len(results) > 1 {
+		fmt.Printf("average over %d runs:\n", len(results))
+		fmt.Printf("  LSG RTT: median %.2fus  p99.9 %.2fus\n", stats.Mean(meds), stats.Mean(tails))
+		fmt.Printf("  total bulk goodput: %.1fGbps of 56Gbps\n", stats.Mean(totals))
+	}
+}
 
-	fmt.Printf("ibsim: profile=%s topology=%s policy=%s qos=%v\n", *profile, *topo, *policy, *qos)
-	s := probe.Summary()
+func printRun(name string, res experiments.Result, pretend bool) {
+	s := res.LSG
+	fmt.Printf("%s:\n", name)
 	fmt.Printf("  LSG RTT: median %v  p99.9 %v  (%d samples)\n", s.Median, s.P999, s.Count)
-	var total float64
-	for i, f := range flows {
-		g := f.Goodput(cl)
-		total += g.Gigabits()
-		fmt.Printf("  BSG%d goodput: %v\n", i+1, g)
+	for i, g := range res.BSGGbps {
+		fmt.Printf("  BSG%d goodput: %.2fGbps\n", i+1, g)
 	}
-	if pretendFlow != nil {
-		g := pretendFlow.Goodput(cl)
-		total += g.Gigabits()
-		fmt.Printf("  pretend-LSG goodput: %v\n", g)
+	if pretend {
+		// Printed even at zero goodput: a starved gamer is exactly what
+		// the pretend experiment exists to expose.
+		fmt.Printf("  pretend-LSG goodput: %.2fGbps\n", res.Pretend)
 	}
-	fmt.Printf("  total bulk goodput: %.1fGbps of 56Gbps\n", total)
+	fmt.Printf("  total bulk goodput: %.1fGbps of 56Gbps\n", res.Total)
 }
 
 func fatal(err error) {

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// The determinism contract (DESIGN.md): a sweep is a pure function of
+// (scenario list, options, seeds), no matter how many workers run it. The
+// tests below lock that down three ways — sequential runs repeat exactly,
+// parallel runs reproduce the sequential bytes, and both match a golden
+// file committed under testdata/ so unintentional model drift shows up as
+// a diff, not as silent reinterpretation.
+
+// goldenOpts is a trimmed Fig. 7a protocol: two seeds, short windows, so
+// the sweep stays fast enough to run three times per test (and under
+// -race in CI).
+func goldenOpts(parallel int) Options {
+	return Options{
+		Measure:  600 * units.Microsecond,
+		Warmup:   200 * units.Microsecond,
+		Seeds:    []uint64{1, 2},
+		Parallel: parallel,
+	}
+}
+
+// goldenSweep renders a fig7a-style converged-traffic sweep (LSG RTT and
+// bulk goodput vs BSG count) as a formatted table.
+func goldenSweep(opts Options) (string, error) {
+	var scs []Scenario
+	for n := 0; n <= 3; n++ {
+		scs = append(scs, Scenario{
+			Fabric:   model.HWTestbed(),
+			Topo:     TopoStar,
+			NumBSGs:  n,
+			BSGBytes: 4096,
+			LSG:      true,
+		})
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return "", err
+	}
+	t := &Table{
+		ID:      "fig7a-golden",
+		Title:   "Determinism golden: LSG RTT and total goodput vs number of BSGs",
+		Columns: []string{"num_bsgs", "p50_us", "p999_us", "total_gbps", "samples"},
+	}
+	for n, a := range as {
+		t.AddRow(fmt.Sprint(n), f2(a.MedianUs), f2(a.TailUs), f2(a.Total), fmt.Sprint(a.Samples))
+	}
+	return t.String(), nil
+}
+
+func TestDeterminismSequentialRepeats(t *testing.T) {
+	first, err := goldenSweep(goldenOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := goldenSweep(goldenOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("two sequential runs diverged:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+func TestDeterminismParallelMatchesSequential(t *testing.T) {
+	seq, err := goldenSweep(goldenOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := goldenSweep(goldenOpts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != seq {
+			t.Fatalf("%d-worker run diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", workers, seq, par)
+		}
+	}
+}
+
+func TestDeterminismGoldenFile(t *testing.T) {
+	got, err := goldenSweep(goldenOpts(0)) // default pool: the path users run
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fig7a_sweep.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("sweep diverged from committed golden (regenerate with -update if the model change is intentional):\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -28,22 +28,31 @@ func ExtSPF(opts Options) (*Table, error) {
 			"single-hop: SPF protects the LSG like RR; multi-hop: it fails the same way (shared-link HOL)",
 		},
 	}
-	for _, topo := range []struct {
+	topos := []struct {
 		name string
 		t    Topology
-	}{{"single-hop", TopoStar}, {"multi-hop", TopoTwoTier}} {
-		for _, pol := range []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR, ibswitch.SPF} {
-			a, err := runAveraged(Scenario{
+	}{{"single-hop", TopoStar}, {"multi-hop", TopoTwoTier}}
+	policies := []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR, ibswitch.SPF}
+	var scs []Scenario
+	for _, topo := range topos {
+		for _, pol := range policies {
+			scs = append(scs, Scenario{
 				Fabric:   model.OMNeTSim(),
 				Topo:     topo.t,
 				Policy:   pol,
 				NumBSGs:  5,
 				BSGBytes: 4096,
 				LSG:      true,
-			}, opts)
-			if err != nil {
-				return nil, err
-			}
+			})
+		}
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for ti, topo := range topos {
+		for pi, pol := range policies {
+			a := as[ti*len(policies)+pi]
 			t.AddRow(topo.name, pol.String(), f2(a.MedianUs), f2(a.TailUs), f2(a.Total))
 		}
 	}
@@ -68,21 +77,25 @@ func ExtRateLimit(opts Options) (*Table, error) {
 		},
 	}
 	arb := ib.DedicatedVLArb()
-	for _, cap := range []units.Bandwidth{0, 10 * units.Gbps, 5 * units.Gbps} {
-		sc := Scenario{
+	caps := []units.Bandwidth{0, 10 * units.Gbps, 5 * units.Gbps}
+	var scs []Scenario
+	for _, cap := range caps {
+		scs = append(scs, Scenario{
 			Fabric: model.HWTestbed(), Topo: TopoStar,
 			Policy: ibswitch.VLArb, SL2VL: ib.DedicatedSL2VL(), VLArb: &arb,
 			NumBSGs: 4, BSGBytes: 4096, BSGSL: 0,
 			LSG: true, LSGSL: 1, Pretend: true,
 			VL1RateLimit: cap,
-		}
-		a, err := runAveraged(sc, opts)
-		if err != nil {
-			return nil, err
-		}
+		})
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range as {
 		label := "none"
-		if cap > 0 {
-			label = cap.String()
+		if caps[i] > 0 {
+			label = caps[i].String()
 		}
 		var honest float64
 		for _, g := range a.BSGGbps {

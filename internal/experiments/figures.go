@@ -15,35 +15,36 @@ import (
 	"repro/internal/units"
 )
 
-// rperfPoint runs an RPerf session over an otherwise idle fabric and
-// returns the averaged median and tail RTT in nanoseconds.
-func rperfPoint(topo Topology, fab model.FabricParams, payload units.ByteSize, opts Options) (medNs, tailNs float64, err error) {
-	var meds, tails []float64
-	for _, seed := range opts.Seeds {
-		var c *topology.Cluster
-		var dst ib.NodeID
-		switch topo {
-		case TopoBackToBack:
-			c = topology.BackToBack(fab, seed)
-			dst = 1
-		default:
-			c = topology.Star(fab, 7, seed)
-			dst = 6
-		}
-		s, err := core.New(c.NIC(0), dst, core.Config{
-			Payload: payload,
-			Warmup:  opts.start(),
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		s.Start()
-		c.Eng.RunUntil(opts.end())
-		sum := s.Summary()
-		meds = append(meds, sum.Median.Nanoseconds())
-		tails = append(tails, sum.P999.Nanoseconds())
+// Every figure below follows the same shape: enumerate the sweep as a flat
+// list of jobs, fan the jobs across the runner's worker pool (runner.go),
+// then assemble rows sequentially in sweep order. The assembly step is the
+// only place results are combined, so tables come out byte-identical no
+// matter how many workers ran the jobs.
+
+// rperfOne runs a single-seed RPerf session over an otherwise idle fabric
+// and returns the median and tail RTT in nanoseconds.
+func rperfOne(topo Topology, fab model.FabricParams, payload units.ByteSize, opts Options, seed uint64) (medNs, tailNs float64, err error) {
+	var c *topology.Cluster
+	var dst ib.NodeID
+	switch topo {
+	case TopoBackToBack:
+		c = topology.BackToBack(fab, seed)
+		dst = 1
+	default:
+		c = topology.Star(fab, 7, seed)
+		dst = 6
 	}
-	return stats.Mean(meds), stats.Mean(tails), nil
+	s, err := core.New(c.NIC(0), dst, core.Config{
+		Payload: payload,
+		Warmup:  opts.start(),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	s.Start()
+	c.Eng.RunUntil(opts.end())
+	sum := s.Summary()
+	return sum.Median.Nanoseconds(), sum.P999.Nanoseconds(), nil
 }
 
 // Fig4 regenerates Figure 4: RPerf RTT for different payload sizes, with
@@ -54,16 +55,32 @@ func Fig4(opts Options) (*Table, error) {
 		Title:   "RPerf RTT vs payload, with and without the switch (ns)",
 		Columns: []string{"payload_B", "p50_noswitch_ns", "p999_noswitch_ns", "p50_switch_ns", "p999_switch_ns"},
 	}
-	for _, p := range PayloadSweep {
-		m0, t0, err := rperfPoint(TopoBackToBack, model.HWTestbed(), p, opts)
-		if err != nil {
-			return nil, err
+	topos := []Topology{TopoBackToBack, TopoStar}
+	seeds := len(opts.Seeds)
+	type sample struct{ med, tail float64 }
+	// Jobs: payload-major, then topology, then seed.
+	samples, err := mapOrdered(len(PayloadSweep)*len(topos)*seeds, opts.workers(), func(i int) (sample, error) {
+		si := i % seeds
+		ti := (i / seeds) % len(topos)
+		pi := i / (seeds * len(topos))
+		med, tail, err := rperfOne(topos[ti], model.HWTestbed(), PayloadSweep[pi], opts, opts.Seeds[si])
+		return sample{med, tail}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range PayloadSweep {
+		row := []string{fmt.Sprint(p)}
+		for ti := range topos {
+			base := (pi*len(topos) + ti) * seeds
+			var meds, tails []float64
+			for s := 0; s < seeds; s++ {
+				meds = append(meds, samples[base+s].med)
+				tails = append(tails, samples[base+s].tail)
+			}
+			row = append(row, f1(stats.Mean(meds)), f1(stats.Mean(tails)))
 		}
-		m1, t1, err := rperfPoint(TopoStar, model.HWTestbed(), p, opts)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(p), f1(m0), f1(t0), f1(m1), f1(t1))
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -76,23 +93,56 @@ func Fig5(opts Options) (*Table, error) {
 		Title:   "One-to-one bandwidth vs payload (Gb/s)",
 		Columns: []string{"payload_B", "noswitch_gbps", "switch_gbps"},
 	}
+	topos := []Topology{TopoBackToBack, TopoStar}
+	var scs []Scenario
 	for _, p := range PayloadSweep {
-		row := []string{fmt.Sprint(p)}
-		for _, topo := range []Topology{TopoBackToBack, TopoStar} {
-			a, err := runAveraged(Scenario{
+		for _, topo := range topos {
+			scs = append(scs, Scenario{
 				Fabric:   model.HWTestbed(),
 				Topo:     topo,
 				NumBSGs:  1,
 				BSGBytes: p,
-			}, opts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(a.Total))
+			})
+		}
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range PayloadSweep {
+		row := []string{fmt.Sprint(p)}
+		for ti := range topos {
+			row = append(row, f2(as[pi*len(topos)+ti].Total))
 		}
 		t.AddRow(row...)
 	}
 	return t, nil
+}
+
+// fig6Sample is one seed's Perftest/Qperf measurement at one payload.
+type fig6Sample struct{ pm, pt, qm float64 }
+
+func fig6One(payload units.ByteSize, opts Options, seed uint64) (fig6Sample, error) {
+	c := topology.Star(model.HWTestbed(), 7, seed)
+	client := host.New(c.NIC(0), c.Params.Host)
+	server := host.New(c.NIC(6), c.Params.Host)
+	pf, err := tools.NewPerftest(client, server, payload, opts.start())
+	if err != nil {
+		return fig6Sample{}, err
+	}
+	client2 := host.New(c.NIC(1), c.Params.Host)
+	qp, err := tools.NewQperf(client2, server, payload, opts.start())
+	if err != nil {
+		return fig6Sample{}, err
+	}
+	pf.Start()
+	qp.Start()
+	c.Eng.RunUntil(opts.end())
+	return fig6Sample{
+		pm: units.Duration(pf.RTT().Median()).Microseconds(),
+		pt: units.Duration(pf.RTT().P999()).Microseconds(),
+		qm: qp.MeanRTT().Microseconds(),
+	}, nil
 }
 
 // Fig6 regenerates Figure 6: end-to-end RTT reported by Perftest (median +
@@ -104,27 +154,20 @@ func Fig6(opts Options) (*Table, error) {
 		Columns: []string{"payload_B", "perftest_p50_us", "perftest_p999_us", "qperf_mean_us"},
 		Notes:   []string{"qperf does not report tail latency (paper §III)"},
 	}
-	for _, p := range PayloadSweep {
+	seeds := len(opts.Seeds)
+	samples, err := mapOrdered(len(PayloadSweep)*seeds, opts.workers(), func(i int) (fig6Sample, error) {
+		return fig6One(PayloadSweep[i/seeds], opts, opts.Seeds[i%seeds])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range PayloadSweep {
 		var pm, pt, qm []float64
-		for _, seed := range opts.Seeds {
-			c := topology.Star(model.HWTestbed(), 7, seed)
-			client := host.New(c.NIC(0), c.Params.Host)
-			server := host.New(c.NIC(6), c.Params.Host)
-			pf, err := tools.NewPerftest(client, server, p, opts.start())
-			if err != nil {
-				return nil, err
-			}
-			client2 := host.New(c.NIC(1), c.Params.Host)
-			qp, err := tools.NewQperf(client2, server, p, opts.start())
-			if err != nil {
-				return nil, err
-			}
-			pf.Start()
-			qp.Start()
-			c.Eng.RunUntil(opts.end())
-			pm = append(pm, units.Duration(pf.RTT().Median()).Microseconds())
-			pt = append(pt, units.Duration(pf.RTT().P999()).Microseconds())
-			qm = append(qm, qp.MeanRTT().Microseconds())
+		for s := 0; s < seeds; s++ {
+			smp := samples[pi*seeds+s]
+			pm = append(pm, smp.pm)
+			pt = append(pt, smp.pt)
+			qm = append(qm, smp.qm)
 		}
 		t.AddRow(fmt.Sprint(p), f2(stats.Mean(pm)), f2(stats.Mean(pt)), f2(stats.Mean(qm)))
 	}
@@ -139,17 +182,21 @@ func Fig7a(opts Options) (*Table, error) {
 		Title:   "Converged traffic: LSG RTT vs number of BSGs (us)",
 		Columns: []string{"num_bsgs", "p50_us", "p999_us"},
 	}
+	var scs []Scenario
 	for n := 0; n <= 5; n++ {
-		a, err := runAveraged(Scenario{
+		scs = append(scs, Scenario{
 			Fabric:   model.HWTestbed(),
 			Topo:     TopoStar,
 			NumBSGs:  n,
 			BSGBytes: 4096,
 			LSG:      true,
-		}, opts)
-		if err != nil {
-			return nil, err
-		}
+		})
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for n, a := range as {
 		t.AddRow(fmt.Sprint(n), f2(a.MedianUs), f2(a.TailUs))
 	}
 	return t, nil
@@ -162,18 +209,22 @@ func Fig7b(opts Options) (*Table, error) {
 		Title:   "Converged traffic: total BSG bandwidth vs number of BSGs (Gb/s)",
 		Columns: []string{"num_bsgs", "total_gbps", "per_bsg_min", "per_bsg_max"},
 	}
+	var scs []Scenario
 	for n := 1; n <= 5; n++ {
-		a, err := runAveraged(Scenario{
+		scs = append(scs, Scenario{
 			Fabric:   model.HWTestbed(),
 			Topo:     TopoStar,
 			NumBSGs:  n,
 			BSGBytes: 4096,
-		}, opts)
-		if err != nil {
-			return nil, err
-		}
+		})
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range as {
 		mn, mx := minMax(a.BSGGbps)
-		t.AddRow(fmt.Sprint(n), f2(a.Total), f2(mn), f2(mx))
+		t.AddRow(fmt.Sprint(i+1), f2(a.Total), f2(mn), f2(mx))
 	}
 	return t, nil
 }
@@ -185,18 +236,22 @@ func Fig8(opts Options) (*Table, error) {
 		Title:   "LSG RTT vs BSG payload size, five BSGs (us)",
 		Columns: []string{"bsg_payload_B", "p50_us", "p999_us"},
 	}
+	var scs []Scenario
 	for _, p := range PayloadSweep {
-		a, err := runAveraged(Scenario{
+		scs = append(scs, Scenario{
 			Fabric:   model.HWTestbed(),
 			Topo:     TopoStar,
 			NumBSGs:  5,
 			BSGBytes: p,
 			LSG:      true,
-		}, opts)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(p), f2(a.MedianUs), f2(a.TailUs))
+		})
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range as {
+		t.AddRow(fmt.Sprint(PayloadSweep[i]), f2(a.MedianUs), f2(a.TailUs))
 	}
 	return t, nil
 }
@@ -208,17 +263,21 @@ func Fig9(opts Options) (*Table, error) {
 		Title:   "Total BSG bandwidth vs BSG payload size, five BSGs (Gb/s)",
 		Columns: []string{"bsg_payload_B", "total_gbps", "link_pct"},
 	}
+	var scs []Scenario
 	for _, p := range PayloadSweep {
-		a, err := runAveraged(Scenario{
+		scs = append(scs, Scenario{
 			Fabric:   model.HWTestbed(),
 			Topo:     TopoStar,
 			NumBSGs:  5,
 			BSGBytes: p,
-		}, opts)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(p), f2(a.Total), f1(a.Total/56*100))
+		})
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range as {
+		t.AddRow(fmt.Sprint(PayloadSweep[i]), f2(a.Total), f1(a.Total/56*100))
 	}
 	return t, nil
 }
@@ -237,20 +296,25 @@ func Eq2(opts Options) (*Table, error) {
 		},
 	}
 	fab := model.OMNeTSim()
+	var scs []Scenario
 	for n := 1; n <= 5; n++ {
-		eq2 := analytic.Eq2Wait(n, fab.Switch.VLWindow, fab.Link.Bandwidth)
-		cfg := analytic.ConvergedConfig{Fabric: fab, NumBSGs: n, BSGPayload: 4096}
-		pred := cfg.PredictLSGWait()
-		a, err := runAveraged(Scenario{
+		scs = append(scs, Scenario{
 			Fabric:   fab,
 			Topo:     TopoStar,
 			NumBSGs:  n,
 			BSGBytes: 4096,
 			LSG:      true,
-		}, opts)
-		if err != nil {
-			return nil, err
-		}
+		})
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range as {
+		n := i + 1
+		eq2 := analytic.Eq2Wait(n, fab.Switch.VLWindow, fab.Link.Bandwidth)
+		cfg := analytic.ConvergedConfig{Fabric: fab, NumBSGs: n, BSGPayload: 4096}
+		pred := cfg.PredictLSGWait()
 		sim := a.MedianUs - 0.43
 		if sim < 0 {
 			sim = 0
@@ -268,20 +332,28 @@ func Fig10(opts Options) (*Table, error) {
 		Title:   "Simulator profile: LSG RTT vs number of BSGs, FCFS vs RR (us)",
 		Columns: []string{"num_bsgs", "fcfs_p50_us", "fcfs_p999_us", "rr_p50_us", "rr_p999_us"},
 	}
+	policies := []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR}
+	var scs []Scenario
 	for n := 0; n <= 5; n++ {
-		row := []string{fmt.Sprint(n)}
-		for _, pol := range []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR} {
-			a, err := runAveraged(Scenario{
+		for _, pol := range policies {
+			scs = append(scs, Scenario{
 				Fabric:   model.OMNeTSim(),
 				Topo:     TopoStar,
 				Policy:   pol,
 				NumBSGs:  n,
 				BSGBytes: 4096,
 				LSG:      true,
-			}, opts)
-			if err != nil {
-				return nil, err
-			}
+			})
+		}
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for n := 0; n <= 5; n++ {
+		row := []string{fmt.Sprint(n)}
+		for pi := range policies {
+			a := as[n*len(policies)+pi]
 			row = append(row, f2(a.MedianUs), f2(a.TailUs))
 		}
 		t.AddRow(row...)
@@ -300,19 +372,24 @@ func Fig11(opts Options) (*Table, error) {
 			"LSG shares the inter-switch link with two BSGs: RR no longer protects it (head-of-line blocking, §VIII-B)",
 		},
 	}
-	for _, pol := range []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR} {
-		a, err := runAveraged(Scenario{
+	policies := []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR}
+	var scs []Scenario
+	for _, pol := range policies {
+		scs = append(scs, Scenario{
 			Fabric:   model.OMNeTSim(),
 			Topo:     TopoTwoTier,
 			Policy:   pol,
 			NumBSGs:  5,
 			BSGBytes: 4096,
 			LSG:      true,
-		}, opts)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(pol.String(), f2(a.MedianUs), f2(a.TailUs))
+		})
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range as {
+		t.AddRow(policies[i].String(), f2(a.MedianUs), f2(a.TailUs))
 	}
 	return t, nil
 }
@@ -325,12 +402,17 @@ func Fig12(opts Options) (*Table, error) {
 		Title:   "QoS: real-LSG RTT in different SL/VL setups (us)",
 		Columns: []string{"setup", "p50_us", "p999_us"},
 	}
-	for _, s := range fig12Setups() {
-		a, err := runAveraged(s.scenario, opts)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(s.name, f2(a.MedianUs), f2(a.TailUs))
+	setups := fig12Setups()
+	scs := make([]Scenario, len(setups))
+	for i, s := range setups {
+		scs[i] = s.scenario
+	}
+	as, err := runAveragedAll(scs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range as {
+		t.AddRow(setups[i].name, f2(a.MedianUs), f2(a.TailUs))
 	}
 	return t, nil
 }
@@ -346,32 +428,31 @@ func Fig13(opts Options) (*Table, error) {
 			"in 'dedicated+pretend' the fifth source is the pretend LSG on the latency SL (256 B, batched)",
 		},
 	}
-	ded := fig12Setups()[3].scenario // dedicated SL + pretend LSG
-	a, err := runAveraged(ded, opts)
+	scs := []Scenario{
+		fig12Setups()[3].scenario, // dedicated SL + pretend LSG
+		{
+			Fabric:   model.HWTestbed(),
+			Topo:     TopoStar,
+			NumBSGs:  5,
+			BSGBytes: 4096,
+		},
+	}
+	as, err := runAveragedAll(scs, opts)
 	if err != nil {
 		return nil, err
 	}
 	row := []string{"dedicated+pretend"}
-	for _, g := range a.BSGGbps {
+	for _, g := range as[0].BSGGbps {
 		row = append(row, f2(g))
 	}
-	row = append(row, f2(a.Pretend), f2(a.Total))
+	row = append(row, f2(as[0].Pretend), f2(as[0].Total))
 	t.Rows = append(t.Rows, row)
 
-	shared, err := runAveraged(Scenario{
-		Fabric:   model.HWTestbed(),
-		Topo:     TopoStar,
-		NumBSGs:  5,
-		BSGBytes: 4096,
-	}, opts)
-	if err != nil {
-		return nil, err
-	}
 	row = []string{"shared SL"}
-	for _, g := range shared.BSGGbps {
+	for _, g := range as[1].BSGGbps {
 		row = append(row, f2(g))
 	}
-	row = append(row, f2(shared.Total))
+	row = append(row, f2(as[1].Total))
 	t.Rows = append(t.Rows, row)
 	return t, nil
 }
@@ -406,7 +487,9 @@ func fig12Setups() []namedScenario {
 	}
 }
 
-// All runs every experiment and returns the tables in paper order.
+// All runs every experiment and returns the tables in paper order. The
+// figures run one after another; each parallelizes internally, so the
+// worker-pool bound holds across the whole regeneration.
 func All(opts Options) ([]*Table, error) {
 	runners := []func(Options) (*Table, error){
 		Fig4, Fig5, Fig6, Fig7a, Fig7b, Fig8, Fig9, Eq2, Fig10, Fig11, Fig12, Fig13,

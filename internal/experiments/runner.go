@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the concurrent scenario runner. Every scenario run owns an
+// independent sim.Engine and rng.Source derived from (configuration, seed),
+// so runs never share mutable state and are embarrassingly parallel. The
+// runner exploits that: it fans the flattened scenario×seed job grid of a
+// sweep across a bounded worker pool, stores each result at its job index,
+// and leaves every reduction (seed averaging, row formatting) sequential in
+// job order — which makes parallel output byte-for-byte identical to the
+// sequential path. DESIGN.md spells out the contract.
+
+// workers resolves the pool size: Options.Parallel if set, else one worker
+// per available CPU.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mapOrdered computes fn(0..n-1) on up to workers goroutines and returns
+// the results in index order. With one worker it degenerates to a plain
+// loop on the calling goroutine — the reference sequential path. On error
+// the remaining jobs still run (in every mode, so side effects do not
+// depend on the pool size), and the error of the lowest-indexed failed
+// job is returned, so the reported error does not depend on goroutine
+// interleaving either.
+func mapOrdered[T any](n, workers int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			out[i] = v
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunSeeds runs the scenario once per seed in opts across the worker pool
+// and returns the per-seed results in seed order. The result slice is
+// identical to calling Run sequentially for each seed.
+func RunSeeds(sc Scenario, opts Options) ([]Result, error) {
+	return mapOrdered(len(opts.Seeds), opts.workers(), func(i int) (Result, error) {
+		return Run(sc, opts, opts.Seeds[i])
+	})
+}
+
+// runAveragedAll evaluates a whole sweep — every scenario under every seed
+// — as one flat job list, so the pool stays saturated even when a sweep
+// has more points than seeds or vice versa. Results are averaged per
+// scenario, in scenario order.
+func runAveragedAll(scs []Scenario, opts Options) ([]averaged, error) {
+	seeds := len(opts.Seeds)
+	results, err := mapOrdered(len(scs)*seeds, opts.workers(), func(i int) (Result, error) {
+		return Run(scs[i/seeds], opts, opts.Seeds[i%seeds])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]averaged, len(scs))
+	for si := range scs {
+		out[si] = reduce(scs[si], results[si*seeds:(si+1)*seeds])
+	}
+	return out, nil
+}

@@ -26,6 +26,11 @@ type Options struct {
 	// Seeds are the runs to average (the paper runs each test three
 	// times).
 	Seeds []uint64
+	// Parallel is the worker-pool size for fanning scenario runs across
+	// CPUs: 0 means one worker per CPU (GOMAXPROCS), 1 forces the
+	// sequential reference path. Results are byte-identical either way;
+	// see runner.go.
+	Parallel int
 }
 
 // DefaultOptions mirror the paper's protocol scaled to simulation time:
@@ -140,8 +145,11 @@ func Run(sc Scenario, opts Options, seed uint64) (Result, error) {
 	}
 	var pretend *traffic.BSG
 	if sc.Pretend {
-		// The pretend LSG replaces the last BSG source slot.
-		src := bsgSrcs[sc.NumBSGs]
+		// The pretend LSG always takes the last bulk-source slot (the
+		// downstream node in the two-tier topology), independent of how
+		// many honest BSGs run — so reducing NumBSGs does not relocate the
+		// gaming flow.
+		src := bsgSrcs[len(bsgSrcs)-1]
 		p, err := traffic.NewPretendLSG(c.NIC(src), c.NIC(dst), sc.LSGSL)
 		if err != nil {
 			return Result{}, err
@@ -207,15 +215,14 @@ type averaged struct {
 	Samples          uint64
 }
 
-func runAveraged(sc Scenario, opts Options) (averaged, error) {
+// reduce averages per-seed results in seed order. Keeping the reduction
+// sequential (and ordered) is what makes parallel sweeps reproduce the
+// sequential output bit for bit: float64 summation is order-sensitive.
+func reduce(sc Scenario, results []Result) averaged {
 	var out averaged
 	var meds, tails, pretends, totals []float64
 	perBSG := map[int][]float64{}
-	for _, seed := range opts.Seeds {
-		r, err := Run(sc, opts, seed)
-		if err != nil {
-			return averaged{}, err
-		}
+	for _, r := range results {
 		if sc.LSG {
 			meds = append(meds, r.LSG.Median.Microseconds())
 			tails = append(tails, r.LSG.P999.Microseconds())
@@ -234,7 +241,7 @@ func runAveraged(sc Scenario, opts Options) (averaged, error) {
 	for i := 0; i < len(perBSG); i++ {
 		out.BSGGbps = append(out.BSGGbps, stats.Mean(perBSG[i]))
 	}
-	return out, nil
+	return out
 }
 
 // PayloadSweep is the payload series of Figures 4, 5, 6, 8 and 9.

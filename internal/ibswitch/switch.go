@@ -544,13 +544,16 @@ func (sw *Switch) arbOverhead(size units.ByteSize, activeInputs int) units.Durat
 }
 
 // wake ensures pick runs for out no later than at, keeping a single
-// pending evaluation per egress port.
+// pending evaluation per egress port. Pulling the pending pick earlier is
+// the switch's hottest scheduling operation, so it reuses the queued event
+// (one sift, no allocation) instead of cancel-and-reschedule.
 func (sw *Switch) wake(out *Port, at units.Time) {
 	if out.scheduled != nil {
 		if out.scheduled.Time() <= at {
 			return
 		}
-		sw.eng.Cancel(out.scheduled)
+		sw.eng.Reschedule(out.scheduled, at)
+		return
 	}
 	out.scheduled = sw.eng.At(at, "switch:pick", func() {
 		out.scheduled = nil

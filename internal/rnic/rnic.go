@@ -460,7 +460,10 @@ func (e *engine) wake(at units.Time) {
 		if e.scheduled.Time() <= at {
 			return
 		}
-		e.r.eng.Cancel(e.scheduled)
+		// Pull the pending evaluation earlier in place: one sift in the
+		// event queue, no allocation.
+		e.r.eng.Reschedule(e.scheduled, at)
+		return
 	}
 	e.scheduled = e.r.eng.At(at, e.label, func() {
 		e.scheduled = nil

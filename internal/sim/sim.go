@@ -10,10 +10,22 @@
 //   - Exactness. Timestamps are integers; there is no floating-point clock
 //     drift between, say, a link's serialization completion and the credit
 //     return it triggers.
+//
+// The calendar is an index-tracked 4-ary min-heap (see eventQueue) with an
+// event free list, so the hot wake/kick paths in the NIC and switch models
+// — which constantly pull an already-pending evaluation to an earlier time
+// — cost one O(log4 n) sift and zero allocations via Reschedule.
+//
+// Event lifetime: a *Event returned by At/After is owned by the caller only
+// while the event is pending. Once it fires or is canceled, the engine
+// recycles the Event through the free list and the pointer must not be
+// retained or canceled again after any later At/After call, which may have
+// reused it. The idiomatic holder pattern clears its reference as the first
+// statement of the event body (see the wake methods in packages ibswitch
+// and rnic).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/units"
@@ -38,7 +50,8 @@ func (e *Event) Label() string { return e.label }
 // usable; construct with New.
 type Engine struct {
 	now     units.Time
-	queue   eventHeap
+	queue   eventQueue
+	free    []*Event
 	seq     uint64
 	ran     uint64
 	stopped bool
@@ -59,7 +72,25 @@ func (e *Engine) Now() units.Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.ran }
 
 // Pending reports how many events are scheduled but not yet executed.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
+
+// alloc takes an Event from the free list, or makes one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// release returns a fired or canceled Event to the free list.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.label = ""
+	e.free = append(e.free, ev)
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past is a
 // programming error and panics, because it would silently corrupt causality.
@@ -67,9 +98,13 @@ func (e *Engine) At(at units.Time, label string, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", label, at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, label: label}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.label = label
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -82,14 +117,33 @@ func (e *Engine) After(d units.Duration, label string, fn func()) *Event {
 }
 
 // Cancel removes a scheduled event. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op (but see the package comment: the
+// pointer must not be used once a later At/After may have recycled it).
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
-	ev.fn = nil
+	e.queue.remove(ev.index)
+	e.release(ev)
+}
+
+// Reschedule moves a pending event to a new firing time. It is equivalent
+// to Cancel followed by At with the same fn and label — including the FIFO
+// tie rule: the moved event orders as the most recently scheduled among
+// equal timestamps — but reuses the queue entry, costing one sift and no
+// allocation. Rescheduling an event that already fired or was canceled is
+// a programming error and panics.
+func (e *Engine) Reschedule(ev *Event, at units.Time) {
+	if ev == nil || ev.index < 0 {
+		panic("sim: rescheduling an event that is not pending")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: rescheduling %q at %v, before now %v", ev.label, at, e.now))
+	}
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	e.queue.fix(ev.index)
 }
 
 // Stop makes Run return after the current event completes.
@@ -98,11 +152,10 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.queue.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	ev.index = -1
+	ev := e.queue.pop()
 	if ev.at < e.now {
 		panic("sim: time went backwards")
 	}
@@ -111,9 +164,11 @@ func (e *Engine) Step() bool {
 		e.Trace(ev.at, ev.label)
 	}
 	fn := ev.fn
-	ev.fn = nil
 	e.ran++
 	fn()
+	// Recycled only after fn returns, so a handler canceling or inspecting
+	// the event that invoked it observes a stable (fired) state.
+	e.release(ev)
 	return true
 }
 
@@ -129,7 +184,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline units.Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].at > deadline {
+		if e.queue.len() == 0 || e.queue.min().at > deadline {
 			break
 		}
 		e.Step()
@@ -144,35 +199,117 @@ func (e *Engine) RunFor(d units.Duration) {
 	e.RunUntil(e.now.Add(d))
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*Event
+// eventQueue is an index-tracked 4-ary min-heap ordered by (time, seq).
+// Four-way branching halves the depth of a binary heap, which pays off in
+// sift-down — the dominant operation of a drain-heavy calendar — at the
+// price of up to three extra comparisons per level over elements that
+// share a cache line. The wins over the container/heap predecessor (which
+// also tracked indices) are the shallower layout, the absence of
+// interface boxing, the event free list, and single-sift Reschedule —
+// which matters because the switch's egress arbiter and the NIC's send
+// engines reschedule their single pending evaluation for nearly every
+// packet forwarded. See queue_bench_test.go for the measured difference.
+type eventQueue struct {
+	events []*Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
+func (q *eventQueue) len() int { return len(q.events) }
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q *eventQueue) min() *Event { return q.events[0] }
+
+func eventLess(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (q *eventQueue) push(ev *Event) {
+	ev.index = len(q.events)
+	q.events = append(q.events, ev)
+	q.up(ev.index)
+}
+
+func (q *eventQueue) pop() *Event {
+	root := q.events[0]
+	n := len(q.events) - 1
+	last := q.events[n]
+	q.events[n] = nil
+	q.events = q.events[:n]
+	if n > 0 {
+		last.index = 0
+		q.events[0] = last
+		q.down(0)
 	}
-	return h[i].seq < h[j].seq
+	root.index = -1
+	return root
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// remove deletes the event at heap position i.
+func (q *eventQueue) remove(i int) {
+	ev := q.events[i]
+	n := len(q.events) - 1
+	last := q.events[n]
+	q.events[n] = nil
+	q.events = q.events[:n]
+	if i < n {
+		last.index = i
+		q.events[i] = last
+		q.fix(i)
+	}
+	ev.index = -1
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// fix restores heap order at position i after its key changed in either
+// direction.
+func (q *eventQueue) fix(i int) {
+	if !q.up(i) {
+		q.down(i)
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// up sifts position i toward the root, reporting whether it moved.
+func (q *eventQueue) up(i int) bool {
+	ev := q.events[i]
+	moved := false
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(ev, q.events[p]) {
+			break
+		}
+		q.events[i] = q.events[p]
+		q.events[i].index = i
+		i = p
+		moved = true
+	}
+	q.events[i] = ev
+	ev.index = i
+	return moved
+}
+
+// down sifts position i toward the leaves.
+func (q *eventQueue) down(i int) {
+	ev := q.events[i]
+	n := len(q.events)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(q.events[c], q.events[best]) {
+				best = c
+			}
+		}
+		if !eventLess(q.events[best], ev) {
+			break
+		}
+		q.events[i] = q.events[best]
+		q.events[i].index = i
+		i = best
+	}
+	q.events[i] = ev
+	ev.index = i
 }

@@ -236,6 +236,157 @@ func TestPropertyStableTimeOrder(t *testing.T) {
 	}
 }
 
+func TestRescheduleEarlier(t *testing.T) {
+	e := New()
+	var got []string
+	e.At(100, "a", func() { got = append(got, "a") })
+	ev := e.At(500, "b", func() { got = append(got, "b") })
+	e.Reschedule(ev, 50)
+	if ev.Time() != 50 {
+		t.Fatalf("Time after reschedule = %v, want 50", ev.Time())
+	}
+	e.Run()
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("order = %v, want [b a]", got)
+	}
+}
+
+func TestRescheduleLater(t *testing.T) {
+	e := New()
+	var got []string
+	ev := e.At(100, "a", func() { got = append(got, "a") })
+	e.At(500, "b", func() { got = append(got, "b") })
+	e.Reschedule(ev, 900)
+	e.Run()
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("order = %v, want [b a]", got)
+	}
+}
+
+// Reschedule must match Cancel-then-At tie semantics: the moved event runs
+// after events already scheduled at the target time.
+func TestRescheduleTieOrdersAsNewest(t *testing.T) {
+	e := New()
+	var got []string
+	ev := e.At(100, "moved", func() { got = append(got, "moved") })
+	e.At(200, "sitting", func() { got = append(got, "sitting") })
+	e.Reschedule(ev, 200)
+	e.Run()
+	if len(got) != 2 || got[0] != "sitting" || got[1] != "moved" {
+		t.Fatalf("order = %v, want [sitting moved]", got)
+	}
+}
+
+func TestReschedulePastPanics(t *testing.T) {
+	e := New()
+	ev := e.At(100, "a", func() {})
+	e.At(50, "tick", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rescheduling into the past should panic")
+			}
+		}()
+		e.Reschedule(ev, 10)
+	})
+	e.Run()
+}
+
+func TestRescheduleCanceledPanics(t *testing.T) {
+	e := New()
+	ev := e.At(100, "a", func() {})
+	e.Cancel(ev)
+	defer func() {
+		if recover() == nil {
+			t.Error("rescheduling a canceled event should panic")
+		}
+	}()
+	e.Reschedule(ev, 200)
+}
+
+// The free list recycles Event structs; recycling must not leak one
+// event's behavior into the next use of the same memory.
+func TestFreeListReuseIsClean(t *testing.T) {
+	e := New()
+	fired := map[string]int{}
+	for round := 0; round < 5; round++ {
+		a := e.At(e.Now().Add(10), "a", func() { fired["a"]++ })
+		b := e.At(e.Now().Add(20), "b", func() { fired["b"]++ })
+		e.Cancel(b)
+		_ = a
+		e.Run()
+	}
+	if fired["a"] != 5 || fired["b"] != 0 {
+		t.Fatalf("fired = %v, want a:5 b:0", fired)
+	}
+}
+
+// Property: under a random mix of schedule, cancel and reschedule, the
+// engine fires exactly the surviving events, in the order a reference
+// model predicts: ascending time, ties broken by most recent
+// (re)scheduling order — the Cancel+At equivalence Reschedule promises.
+func TestPropertyScheduleCancelRescheduleMix(t *testing.T) {
+	f := func(ops []uint16) bool {
+		e := New()
+		type live struct {
+			ev    *Event
+			id    int        // closure identity: never changes
+			at    units.Time // reference copy of the firing time
+			order int        // reference copy of the scheduling sequence
+		}
+		var lives []live
+		var got []int
+		seq, nextID := 0, 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // schedule a new event
+				at := e.Now().Add(units.Duration(op % 97))
+				id := nextID
+				nextID++
+				ev := e.At(at, "p", func() { got = append(got, id) })
+				lives = append(lives, live{ev, id, at, seq})
+				seq++
+			case 2: // cancel a surviving event
+				if len(lives) == 0 {
+					continue
+				}
+				i := int(op/4) % len(lives)
+				e.Cancel(lives[i].ev)
+				lives = append(lives[:i], lives[i+1:]...)
+			case 3: // reschedule a surviving event
+				if len(lives) == 0 {
+					continue
+				}
+				i := int(op/4) % len(lives)
+				at := e.Now().Add(units.Duration(op % 61))
+				e.Reschedule(lives[i].ev, at)
+				lives[i].at = at
+				lives[i].order = seq
+				seq++
+			}
+		}
+		want := append([]live(nil), lives...)
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].order < want[j].order
+		})
+		e.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestEventAccessors(t *testing.T) {
 	e := New()
 	ev := e.At(42, "labeled", func() {})
