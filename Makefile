@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-queue bench-sweep golden ci
+.PHONY: all vet build test race cover bench bench-queue bench-sweep golden smoke-examples ci
 
 all: vet build test
 
@@ -34,9 +34,17 @@ bench-queue:
 bench-sweep:
 	$(GO) test -run XXX -bench 'BenchmarkSweep' -benchtime 5x .
 
-# golden regenerates the determinism golden file after an intentional
-# model change.
+# golden regenerates the determinism golden files (fig7a star sweep and
+# fat-tree incast sweep) after an intentional model change.
 golden:
-	$(GO) test ./internal/experiments/ -run TestDeterminismGoldenFile -update
+	$(GO) test ./internal/experiments/ -run 'GoldenFile' -update
 
-ci: vet build test race cover
+# smoke-examples runs every example binary end to end so the walkthroughs
+# cannot silently rot as the API evolves.
+smoke-examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d >/dev/null; \
+	done
+
+ci: vet build test race cover smoke-examples

@@ -199,6 +199,31 @@ func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
 // BenchmarkSweepParallel uses one worker per available CPU.
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
 
+// benchIncastSweep scales the fat-tree incast sweep (nine fabric x depth
+// points, internal/experiments/incast.go) across the worker pool: the
+// multi-switch counterpart of benchSweep, with 6-switch fabrics and up to
+// eight converging senders per run.
+func benchIncastSweep(b *testing.B, workers int) {
+	opts := experiments.Options{
+		Measure:  units.Millisecond,
+		Warmup:   250 * units.Microsecond,
+		Seeds:    []uint64{1, 2},
+		Parallel: workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.IncastSweep(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepIncastSequential is the single-worker reference path.
+func BenchmarkSweepIncastSequential(b *testing.B) { benchIncastSweep(b, 1) }
+
+// BenchmarkSweepIncastParallel uses one worker per available CPU.
+func BenchmarkSweepIncastParallel(b *testing.B) { benchIncastSweep(b, 0) }
+
 // --- Micro-benchmarks of the substrate ------------------------------------
 
 // BenchmarkSimulatorEventRate measures raw event throughput of the

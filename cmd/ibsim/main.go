@@ -4,9 +4,17 @@
 //
 // Usage:
 //
-//	ibsim [-profile hw|sim] [-topology star|twotier] [-policy fcfs|rr|vlarb|spf]
+//	ibsim [-profile hw|sim] [-topo star|twotier|fattree] [-policy fcfs|rr|vlarb|spf]
+//	      [-leaves 3 -hosts 4 -spines 2 -trunks 1]
 //	      [-qos] [-bsgs 5] [-bsg-payload 4096] [-pretend] [-duration 10ms]
 //	      [-seed 1] [-runs 1] [-parallel 0]
+//
+// -topo fattree generates a two-layer fabric (-leaves x -hosts hosts behind
+// -spines spine switches, -trunks parallel cables per leaf-spine pair) with
+// automatically derived destination-based routing; the BSGs converge on the
+// last host from sources spread across the leaves while the LSG probes the
+// same drain port from host 0, the incast generalization of the paper's §V
+// setup.
 //
 // -runs repeats the configured scenario under consecutive seeds (seed,
 // seed+1, ...) and reports each run plus the average, the same protocol the
@@ -27,12 +35,18 @@ import (
 	"repro/internal/ibswitch"
 	"repro/internal/model"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/units"
 )
 
 func main() {
 	profile := flag.String("profile", "hw", "hw (SX6012) or sim (OMNeT-like)")
-	topo := flag.String("topology", "star", "star or twotier")
+	topo := flag.String("topo", "star", "star, twotier or fattree")
+	flag.StringVar(topo, "topology", "star", "alias for -topo")
+	leaves := flag.Int("leaves", 3, "fattree: number of leaf switches")
+	hosts := flag.Int("hosts", 4, "fattree: hosts per leaf")
+	spines := flag.Int("spines", 2, "fattree: number of spine switches")
+	trunks := flag.Int("trunks", 1, "fattree: parallel cables per leaf-spine pair")
 	policy := flag.String("policy", "fcfs", "fcfs, rr, vlarb or spf")
 	qos := flag.Bool("qos", false, "dedicated SL/VL QoS (maps SL1 to high-priority VL1)")
 	bsgs := flag.Int("bsgs", 5, "bulk generators")
@@ -53,12 +67,25 @@ func main() {
 		sc.Fabric = model.OMNeTSim()
 	}
 
-	maxBSGs := 5 // both topologies expose five bulk-source slots
+	maxBSGs := 5 // the legacy topologies expose five bulk-source slots
 	switch *topo {
 	case "star":
 		sc.Topo = experiments.TopoStar
 	case "twotier":
 		sc.Topo = experiments.TopoTwoTier
+	case "fattree":
+		spec := topology.FatTreeSpec{
+			Leaves:       *leaves,
+			HostsPerLeaf: *hosts,
+			Spines:       *spines,
+			Trunks:       *trunks,
+		}
+		if err := spec.Validate(); err != nil {
+			fatal(err)
+		}
+		sc.Topo = experiments.TopoFatTree
+		sc.FatTree = spec
+		maxBSGs = spec.NumHosts() - 2 // minus the probe and the drain host
 	default:
 		fatal(fmt.Errorf("unknown topology %q", *topo))
 	}

@@ -60,6 +60,54 @@ func goldenSweep(opts Options) (string, error) {
 	return t.String(), nil
 }
 
+// incastGoldenSweep renders the fat-tree incast sweep (three fabric sizes
+// x three incast depths, see incast.go) — the multi-hop counterpart of the
+// fig7a golden, locking the fabric generator's wiring, routing derivation
+// and the runner's parallel determinism in one artifact.
+func incastGoldenSweep(opts Options) (string, error) {
+	tbl, err := IncastSweep(opts)
+	if err != nil {
+		return "", err
+	}
+	return tbl.String(), nil
+}
+
+func TestIncastDeterminismParallelMatchesSequential(t *testing.T) {
+	seq, err := incastGoldenSweep(goldenOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := incastGoldenSweep(goldenOpts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != seq {
+			t.Fatalf("%d-worker incast sweep diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", workers, seq, par)
+		}
+	}
+}
+
+func TestIncastDeterminismGoldenFile(t *testing.T) {
+	got, err := incastGoldenSweep(goldenOpts(0)) // default pool: the path users run
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "incast_sweep.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("incast sweep diverged from committed golden (regenerate with -update if the model change is intentional):\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 func TestDeterminismSequentialRepeats(t *testing.T) {
 	first, err := goldenSweep(goldenOpts(1))
 	if err != nil {

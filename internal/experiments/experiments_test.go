@@ -256,7 +256,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "eq2", "fig10", "fig11", "fig12", "fig13"} {
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "eq2", "fig10", "fig11", "fig12", "fig13", "incast", "alltoall", "crossspine"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing runner %s", id)
 		}
@@ -278,4 +278,77 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+func TestIncastSweepShape(t *testing.T) {
+	tbl, err := IncastSweep(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(IncastFabrics) * len(IncastDepths); len(tbl.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), want)
+	}
+	// Within each fabric, the probe's median must grow with incast depth
+	// (the Fig. 7a law, generalized), and the drain port must stay near
+	// saturation.
+	for f := range IncastFabrics {
+		base := f * len(IncastDepths)
+		shallow := cell(t, tbl, base, 2)
+		deep := cell(t, tbl, base+len(IncastDepths)-1, 2)
+		if deep < 2*shallow {
+			t.Errorf("fabric %s: p50 at depth %d = %.1f us, want >= 2x depth-%d value %.1f us",
+				IncastFabrics[f], IncastDepths[len(IncastDepths)-1], deep, IncastDepths[0], shallow)
+		}
+		for d := range IncastDepths {
+			if g := cell(t, tbl, base+d, 4); g < 40 || g > 56 {
+				t.Errorf("fabric %s depth %d: drain goodput = %.1f Gb/s", IncastFabrics[f], IncastDepths[d], g)
+			}
+		}
+	}
+}
+
+func TestAllToAllShape(t *testing.T) {
+	tbl, err := AllToAll(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate goodput must grow with fabric size/spine count, and
+	// fairness must stay a valid ratio.
+	prev := 0.0
+	for r := range tbl.Rows {
+		total := cell(t, tbl, r, 2)
+		if total <= prev {
+			t.Errorf("row %d: aggregate goodput %.1f not above previous %.1f", r, total, prev)
+		}
+		prev = total
+		if f := cell(t, tbl, r, 4); f <= 0 || f > 1 {
+			t.Errorf("row %d: fairness = %.2f", r, f)
+		}
+	}
+	// Three spines must beat one spine by well over 2x aggregate.
+	if one, three := cell(t, tbl, 0, 2), cell(t, tbl, 2, 2); three < 2*one {
+		t.Errorf("3-spine aggregate %.1f should dwarf 1-spine %.1f", three, one)
+	}
+}
+
+func TestCrossSpineMixShape(t *testing.T) {
+	tbl, err := CrossSpineMix(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: shared-port at 3 depths, then disjoint-spine at 3 depths.
+	sharedDeep := cell(t, tbl, 2, 2)
+	disjointShallow := cell(t, tbl, 3, 2)
+	disjointDeep := cell(t, tbl, 5, 2)
+	if sharedDeep < 10 {
+		t.Errorf("shared-port deep-incast p50 = %.1f us, want >> 10 (queueing)", sharedDeep)
+	}
+	if disjointDeep > 3 {
+		t.Errorf("disjoint-spine p50 = %.1f us, want near zero-load (< 3)", disjointDeep)
+	}
+	// The disjoint probe must be flat across depths: congestion is
+	// port-local.
+	if disjointDeep > 1.5*disjointShallow {
+		t.Errorf("disjoint probe not flat: %.2f -> %.2f us", disjointShallow, disjointDeep)
+	}
 }

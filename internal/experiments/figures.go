@@ -513,6 +513,7 @@ func ByID(id string) (func(Options) (*Table, error), bool) {
 		"fig8": Fig8, "fig9": Fig9, "eq2": Eq2,
 		"fig10": Fig10, "fig11": Fig11, "fig12": Fig12, "fig13": Fig13,
 		"ext-spf": ExtSPF, "ext-ratelimit": ExtRateLimit,
+		"incast": IncastSweep, "alltoall": AllToAll, "crossspine": CrossSpineMix,
 	}
 	f, ok := m[id]
 	return f, ok

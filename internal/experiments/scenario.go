@@ -63,13 +63,18 @@ const (
 	TopoBackToBack Topology = iota
 	TopoStar
 	TopoTwoTier
+	// TopoFatTree builds the generalized two-layer fabric described by
+	// Scenario.FatTree (see topology.FatTreeSpec).
+	TopoFatTree
 )
 
 // Scenario describes one converged-traffic run. The zero value plus a
 // Fabric is a valid "LSG only through the switch" scenario.
 type Scenario struct {
-	Fabric   model.FabricParams
-	Topo     Topology
+	Fabric model.FabricParams
+	Topo   Topology
+	// FatTree configures the fabric when Topo is TopoFatTree.
+	FatTree  topology.FatTreeSpec
 	Policy   ibswitch.Policy
 	SL2VL    ib.SL2VL
 	VLArb    *ib.VLArbConfig
@@ -112,6 +117,12 @@ func Run(sc Scenario, opts Options, seed uint64) (Result, error) {
 		// §VIII-B: LSG and two BSGs upstream, three BSGs and the
 		// destination downstream.
 		c = topology.TwoTier(sc.Fabric, 3, 4, seed)
+	case TopoFatTree:
+		var err error
+		c, err = topology.FatTree(sc.Fabric, sc.FatTree, seed)
+		if err != nil {
+			return Result{}, err
+		}
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown topology %d", sc.Topo)
 	}
@@ -130,8 +141,12 @@ func Run(sc Scenario, opts Options, seed uint64) (Result, error) {
 
 	dst, lsgSrc, bsgSrcs := placement(sc, c)
 
+	numBSGs := sc.NumBSGs
+	if numBSGs > len(bsgSrcs) {
+		numBSGs = len(bsgSrcs) // the fabric has only so many source slots
+	}
 	var bsgs []*traffic.BSG
-	for i := 0; i < sc.NumBSGs; i++ {
+	for i := 0; i < numBSGs; i++ {
 		b, err := traffic.NewBSG(c.NIC(bsgSrcs[i]), c.NIC(dst), traffic.BSGConfig{
 			Payload: sc.BSGBytes,
 			SL:      sc.BSGSL,
@@ -201,6 +216,24 @@ func placement(sc Scenario, c *topology.Cluster) (dst, lsgSrc int, bsgSrcs []int
 		// Upstream: nodes 0,1 are BSGs, node 2 is the LSG. Downstream:
 		// nodes 3,4,5 are BSGs, node 6 is the destination.
 		return 6, 2, []int{0, 1, 3, 4, 5}
+	case TopoFatTree:
+		// The incast pattern of §V generalized across the fabric: the
+		// drain port is the last host of the last leaf, the latency probe
+		// crosses the whole fabric from host 0, and bulk sources fill in
+		// leaf-by-leaf (host-major) so the first N senders of an N-to-1
+		// incast spread across as many leaves — and spine paths — as
+		// possible.
+		spec := sc.FatTree
+		dst = spec.NumHosts() - 1
+		lsgSrc = 0
+		for h := 0; h < spec.HostsPerLeaf; h++ {
+			for l := 0; l < spec.Leaves; l++ {
+				if n := spec.HostNode(l, h); n != dst && n != lsgSrc {
+					bsgSrcs = append(bsgSrcs, n)
+				}
+			}
+		}
+		return dst, lsgSrc, bsgSrcs
 	default: // TopoStar: paper's 7-node rack, node 6 is the destination
 		return 6, 5, []int{0, 1, 2, 3, 4}
 	}

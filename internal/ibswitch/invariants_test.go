@@ -259,3 +259,66 @@ func TestPropertyVLArbChoosesEligible(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a VL absent from both arbitration tables never earns tokens,
+// so before the fix an overdrawn listed VL made the 64-round replenish
+// loop give up and the FCFS safety valve then served the unlisted VL at
+// full priority (its packet merely had to be older). The spec-faithful
+// behavior is strict background priority: whenever any listed VL has an
+// eligible packet, the unlisted VL must wait.
+func TestPropertyVLArbUnlistedVLNeverBeatsListed(t *testing.T) {
+	src := rng.New(31)
+	for trial := 0; trial < 300; trial++ {
+		sw := propSwitch(t, 4)
+		if err := sw.SetVLArb(ib.DedicatedVLArb()); err != nil {
+			t.Fatal(err)
+		}
+		sw.SetPolicy(VLArb)
+		out := sw.Port(0)
+		out.arb.inited = true
+		// Overdraw the listed VLs far beyond what 64 replenish rounds can
+		// repay, the state a streak of large packets leaves behind.
+		out.arb.tokens[0] = -int64(1_000_000 + src.Intn(1_000_000))
+		out.arb.tokens[1] = -int64(1_000_000 + src.Intn(1_000_000))
+		var eligible []candidate
+		// An unlisted-VL packet that is always the oldest...
+		unlisted := ib.VL(2 + src.Intn(ib.NumVLs-2))
+		eligible = append(eligible, mkCandidate(src.Intn(4), unlisted, 0, 4148))
+		// ...competing against at least one listed-VL packet.
+		n := 1 + src.Intn(4)
+		for i := 0; i < n; i++ {
+			eligible = append(eligible, mkCandidate(src.Intn(4), ib.VL(src.Intn(2)), units.Time(1+src.Intn(100)), 4148))
+		}
+		chosen := sw.choose(out, eligible)
+		if chosen.vl == unlisted {
+			t.Fatalf("trial %d: unlisted VL%d served while listed VLs had eligible packets (tokens %v)",
+				trial, unlisted, out.arb.tokens[:2])
+		}
+	}
+}
+
+// With only unlisted-VL traffic eligible, the arbiter must still be
+// work-conserving: the lossless model drains unconfigured VLs FCFS at
+// background priority instead of deadlocking the credit loop.
+func TestPropertyVLArbUnlistedVLDrainsWhenAlone(t *testing.T) {
+	sw := propSwitch(t, 2)
+	if err := sw.SetVLArb(ib.DedicatedVLArb()); err != nil {
+		t.Fatal(err)
+	}
+	sw.SetPolicy(VLArb)
+	out := sw.Port(0)
+	eligible := []candidate{
+		mkCandidate(0, 3, 10, 4148),
+		mkCandidate(1, 5, 5, 64),
+	}
+	chosen := sw.choose(out, eligible)
+	if chosen.vl != 5 {
+		t.Fatalf("expected FCFS among unlisted VLs (oldest is VL5), got VL%d", chosen.vl)
+	}
+	// And the background service must not charge any listed VL's budget.
+	for vl := 0; vl < 2; vl++ {
+		if out.arb.tokens[vl] < 0 {
+			t.Fatalf("background service charged listed VL%d", vl)
+		}
+	}
+}

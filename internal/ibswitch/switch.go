@@ -104,6 +104,10 @@ type Switch struct {
 	sl2vl  ib.SL2VL
 	policy Policy
 	vlarb  ib.VLArbConfig
+	// listed[vl] records whether vl appears in either arbitration table;
+	// derived in SetVLArb so the per-packet arbiter never rescans the
+	// tables.
+	listed [ib.NumVLs]bool
 	ports  []*Port
 	routes map[ib.NodeID]int
 	limits [ib.NumVLs]*tokenBucket
@@ -129,6 +133,7 @@ func New(eng *sim.Engine, name string, par model.SwitchParams, nPorts int, jitte
 		routes: make(map[ib.NodeID]int),
 		name:   name,
 	}
+	sw.listed = listedVLs(sw.vlarb)
 	for i := 0; i < nPorts; i++ {
 		p := &Port{sw: sw, idx: i}
 		p.gate = link.NewBufferGate(eng, par.CreditReturnDelay, par.WindowFor)
@@ -159,7 +164,19 @@ func (sw *Switch) SetVLArb(cfg ib.VLArbConfig) error {
 		return err
 	}
 	sw.vlarb = cfg
+	sw.listed = listedVLs(cfg)
 	return nil
+}
+
+// listedVLs marks the VLs appearing in either arbitration table.
+func listedVLs(cfg ib.VLArbConfig) (listed [ib.NumVLs]bool) {
+	for _, e := range cfg.High {
+		listed[e.VL] = true
+	}
+	for _, e := range cfg.Low {
+		listed[e.VL] = true
+	}
+	return listed
 }
 
 // SetRoute directs traffic for node via port.
@@ -433,12 +450,35 @@ func chooseRR(out *Port, eligible []candidate) candidate {
 // VLs are served whenever they hold both traffic and tokens; token budgets
 // refill jointly when no backlogged VL has tokens left. Within a VL the
 // oldest packet wins (FCFS).
+//
+// VLs absent from both tables get no tokens — under the IB spec's
+// VLArbitrationTable every active data VL must appear in a table entry
+// with non-zero weight, so traffic on an unlisted VL is a configuration
+// error the arbiter owes no service. A lossless model cannot drop or stall it forever
+// without deadlocking its own credit loop, so the spec-faithful compromise
+// is strict background priority: an unlisted VL is served only when no
+// listed VL has an eligible packet. Before this rule, an unlisted VL's
+// permanently-empty token budget made the replenish loop run dry and the
+// FCFS safety valve served it at full priority — ahead of listed VLs whose
+// deficit was merely overdrawn.
 func (sw *Switch) chooseVLArb(out *Port, eligible []candidate) candidate {
 	st := &out.arb
 	if !st.inited {
 		st.inited = true
 		sw.replenish(st)
 	}
+	configured := eligible[:0:0]
+	for _, c := range eligible {
+		if sw.listed[c.vl] {
+			configured = append(configured, c)
+		}
+	}
+	if len(configured) == 0 {
+		// Only unconfigured VLs hold traffic: drain them FCFS rather than
+		// deadlock (background priority, no token accounting).
+		return chooseFCFS(eligible)
+	}
+	eligible = configured
 	byVL := map[ib.VL][]candidate{}
 	for _, c := range eligible {
 		byVL[c.vl] = append(byVL[c.vl], c)

@@ -135,7 +135,13 @@ type vlState struct {
 
 	arr     rateEstimator
 	dep     rateEstimator
-	arrPeak float64 // monotone max of arr.rate: the sender's offered rate
+	arrPeak float64 // estimate of the sender's offered rate ro (see OnArrive)
+	// minAvail tracks the low-water mark of avail since the last arrival
+	// estimation window closed: zero means the sender was credit-limited
+	// at some point in the window (so the measured arrival rate understates
+	// its offered rate); positive means the measured rate IS the offered
+	// rate and arrPeak may re-anchor downward.
+	minAvail units.ByteSize
 
 	// residEWMA and bias form a small integral controller that drives the
 	// measured standing occupancy onto the frozen-occupancy target. A
@@ -173,18 +179,19 @@ type rateEstimator struct {
 // least one full VL-arbitration cycle.
 const rateWindow = 5 * units.Microsecond
 
-// update records bytes observed at now.
-func (e *rateEstimator) update(now units.Time, bytes units.ByteSize) {
+// update records bytes observed at now and reports whether this call closed
+// an estimation window (i.e. e.rate was just refreshed).
+func (e *rateEstimator) update(now units.Time, bytes units.ByteSize) bool {
 	if !e.started {
 		e.started = true
 		e.winStart = now
 		e.acc = bytes
-		return
+		return false
 	}
 	e.acc += bytes
 	elapsed := now.Sub(e.winStart)
 	if elapsed < rateWindow {
-		return
+		return false
 	}
 	inst := float64(e.acc) / float64(elapsed)
 	if e.rate == 0 {
@@ -194,6 +201,7 @@ func (e *rateEstimator) update(now units.Time, bytes units.ByteSize) {
 	}
 	e.winStart = now
 	e.acc = 0
+	return true
 }
 
 // NewBufferGate builds a gate whose VL windows are given by windowFor.
@@ -205,8 +213,20 @@ func NewBufferGate(eng *sim.Engine, returnDelay units.Duration, windowFor func(i
 		w := windowFor(ib.VL(i))
 		g.vls[i].window = w
 		g.vls[i].avail = w
+		g.vls[i].minAvail = w
 	}
 	return g
+}
+
+// takeAvail moves bytes from the available pool into the reserved pool,
+// tracking the window's credit low-water mark for the offered-rate
+// estimator (see OnArrive).
+func (s *vlState) takeAvail(bytes units.ByteSize) {
+	s.avail -= bytes
+	s.reserved += bytes
+	if s.avail < s.minAvail {
+		s.minAvail = s.avail
+	}
 }
 
 // SetFrozen toggles frozen-occupancy pacing (true by default). With false
@@ -222,10 +242,10 @@ func (g *BufferGate) OnRelease(fn func()) { g.onRelease = append(g.onRelease, fn
 func (g *BufferGate) TryReserve(vl ib.VL, bytes units.ByteSize) bool {
 	s := &g.vls[vl]
 	if len(s.waiters) > 0 || s.avail < bytes {
+		s.minAvail = 0 // a denied request means the sender is credit-limited
 		return false
 	}
-	s.avail -= bytes
-	s.reserved += bytes
+	s.takeAvail(bytes)
 	return true
 }
 
@@ -233,17 +253,32 @@ func (g *BufferGate) TryReserve(vl ib.VL, bytes units.ByteSize) bool {
 func (g *BufferGate) ReserveWhenAvailable(vl ib.VL, bytes units.ByteSize, fn func()) {
 	s := &g.vls[vl]
 	if len(s.waiters) == 0 && s.avail >= bytes {
-		s.avail -= bytes
-		s.reserved += bytes
+		s.takeAvail(bytes)
 		fn()
 		return
 	}
+	s.minAvail = 0 // a queued waiter means the sender is credit-limited
 	s.waiters = append(s.waiters, waiter{bytes: bytes, fn: fn})
 }
 
 // Unreserve returns a reservation that will not be used (an arbitration
 // candidate that lost). The bytes go straight back to the available pool
 // and any waiters are re-examined.
+//
+// Unlike scheduleRelease, Unreserve deliberately does NOT fire the
+// onRelease hooks, and under the current wiring that is safe. Each gate
+// guards one ingress buffer fed by exactly one transmitter. Gates whose
+// transmitter is an RNIC (the only users of ReserveWhenAvailable, hence
+// the only gates with waiters) never see Unreserve, because RNIC egress is
+// a wire, not an arbiter. Gates whose transmitter is a switch egress port
+// see Unreserve only from that port's own pick(): the pick always ends by
+// transmitting the winning candidate, which re-schedules the same port's
+// next evaluation — the exact work the onRelease hook would have queued —
+// so firing hooks here would only add a redundant same-timestamp wake-up.
+// If gates ever gain multiple reservers (e.g. shared output buffers),
+// Unreserve must notify hooks like scheduleRelease does;
+// TestTrunkArbitrationUnreserveNoStall (internal/topology) guards the
+// current contract end to end.
 func (g *BufferGate) Unreserve(vl ib.VL, bytes units.ByteSize) {
 	s := &g.vls[vl]
 	if s.reserved < bytes {
@@ -256,8 +291,7 @@ func (g *BufferGate) Unreserve(vl ib.VL, bytes units.ByteSize) {
 		if s.avail < w.bytes {
 			break
 		}
-		s.avail -= w.bytes
-		s.reserved += w.bytes
+		s.takeAvail(w.bytes)
 		s.waiters = s.waiters[1:]
 		w.fn()
 	}
@@ -281,10 +315,26 @@ func (g *BufferGate) OnArrive(vl ib.VL, bytes units.ByteSize) {
 	if s.reserved < 0 {
 		panic("link: more bytes arrived than were reserved")
 	}
-	s.arr.update(g.eng.Now(), bytes)
-	if s.arr.rate > s.arrPeak {
+	if !s.arr.update(g.eng.Now(), bytes) {
+		return
+	}
+	// Maintain the offered-rate estimate ro. While the sender is
+	// credit-limited, arrivals are clocked by credit returns — the measured
+	// rate reflects the drain, not the offer — so the estimate may only
+	// ratchet up (the initial unthrottled burst is what reveals ro). But
+	// when the whole estimation window passed without avail ever reaching
+	// zero, the sender was pacing itself: the measured rate IS its offered
+	// rate, and the estimate re-anchors to it. Without the re-anchor a
+	// sender that stops mid-run (or slows down) pins ro at its historical
+	// burst rate forever, which keeps target() below the window for
+	// traffic that is no longer oversubscribed and escrows credits the
+	// live flow is entitled to.
+	if s.minAvail > 0 {
+		s.arrPeak = s.arr.rate
+	} else if s.arr.rate > s.arrPeak {
 		s.arrPeak = s.arr.rate
 	}
+	s.minAvail = s.avail
 }
 
 // OnDepart records that bytes have left the buffer (egress complete) and
@@ -370,8 +420,7 @@ func (g *BufferGate) scheduleRelease(vl ib.VL, bytes units.ByteSize) {
 			if s.avail < w.bytes {
 				break
 			}
-			s.avail -= w.bytes
-			s.reserved += w.bytes
+			s.takeAvail(w.bytes)
 			s.waiters = s.waiters[1:]
 			w.fn()
 		}

@@ -290,3 +290,72 @@ func TestGateConservationInvariant(t *testing.T) {
 		t.Fatal("no occupancy recorded")
 	}
 }
+
+// Regression: the offered-rate peak must re-window after a sender stops.
+// A fast (oversubscribed) sender runs for 2 ms and stops; lighter traffic
+// then arrives on the same VL at well under the drain rate. With the old
+// monotone-max peak the gate kept believing ro was the historical burst
+// rate, held target() below the window forever, and escrowed credits the
+// new flow was entitled to. After the fix the peak re-anchors within two
+// estimation windows and the gate goes invisible again.
+func TestStoppedSenderPeakReWindows(t *testing.T) {
+	eng := sim.New()
+	w := 32 * units.KB
+	g := NewBufferGate(eng, 10*units.Nanosecond, func(ib.VL) units.ByteSize { return w })
+	const pkt = 4148
+	phase2 := units.Time(2 * units.Millisecond)
+	stop := units.Time(6 * units.Millisecond)
+
+	var inBuf units.ByteSize
+	var drainArmed bool
+	var drain func()
+	drain = func() {
+		if inBuf < pkt {
+			drainArmed = false
+			return
+		}
+		eng.After(units.Nanoseconds(1185), "drain", func() {
+			inBuf -= pkt
+			g.OnDepart(0, pkt)
+			drain()
+		})
+	}
+	period := func() units.Duration {
+		if eng.Now() >= phase2 {
+			return units.Nanoseconds(4000) // ~8.3 Gb/s: well under the drain rate
+		}
+		return units.Nanoseconds(628) // ~52.9 Gb/s: oversubscribed
+	}
+	var send func()
+	send = func() {
+		if eng.Now() >= stop {
+			return
+		}
+		g.ReserveWhenAvailable(0, pkt, func() {
+			eng.After(period(), "inject", func() {
+				g.OnArrive(0, pkt)
+				inBuf += pkt
+				if !drainArmed {
+					drainArmed = true
+					drain()
+				}
+				send()
+			})
+		})
+	}
+	send()
+	eng.RunUntil(stop)
+
+	s := &g.vls[0]
+	slowRate := float64(pkt) / float64(units.Nanoseconds(4000))
+	if s.arrPeak > 2*slowRate {
+		t.Errorf("arrival peak %.6f B/ps still near the stopped sender's rate; want <= %.6f (2x the live rate)",
+			s.arrPeak, 2*slowRate)
+	}
+	if got := g.target(s); got != s.window {
+		t.Errorf("frozen-occupancy target = %d B with a non-oversubscribed flow, want the full window %d B", got, s.window)
+	}
+	if s.escrow != 0 {
+		t.Errorf("gate still escrows %d B of credits after the regime change", s.escrow)
+	}
+}

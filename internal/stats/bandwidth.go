@@ -15,6 +15,7 @@ type BandwidthMeter struct {
 	start    units.Time
 	end      units.Time
 	started  bool
+	closed   bool
 }
 
 // NewBandwidthMeter returns an empty meter.
@@ -28,11 +29,14 @@ func (m *BandwidthMeter) Open(at units.Time) {
 	m.bytes = 0
 	m.messages = 0
 	m.started = true
+	m.closed = false
 }
 
 // Record notes the delivery of a message's payload at the given time.
+// Deliveries outside the window — before Open, or after Close — are
+// excluded, the same way warmup traffic is.
 func (m *BandwidthMeter) Record(at units.Time, payload units.ByteSize) {
-	if !m.started {
+	if !m.started || m.closed {
 		return
 	}
 	if at < m.start {
@@ -45,11 +49,17 @@ func (m *BandwidthMeter) Record(at units.Time, payload units.ByteSize) {
 	}
 }
 
-// Close marks the end of the measurement window.
+// Close marks the end of the measurement window and freezes the meter:
+// later Record and Close calls are ignored, so draining traffic cannot
+// count bytes into — or stretch — a window that has already been reported.
 func (m *BandwidthMeter) Close(at units.Time) {
-	if m.started && at > m.end {
+	if !m.started || m.closed {
+		return
+	}
+	if at > m.end {
 		m.end = at
 	}
+	m.closed = true
 }
 
 // Bytes reports the payload bytes delivered inside the window.

@@ -82,3 +82,31 @@ func TestMeanAndStdErr(t *testing.T) {
 		t.Fatalf("StdErr = %v", se)
 	}
 }
+
+// Regression: the meter must have a closed state. Before the fix, Record
+// after Close kept counting bytes and stretching the window, so a scenario
+// that let in-flight traffic drain after the measurement window silently
+// inflated its byte count.
+func TestBandwidthMeterClosedExcludesLateDeliveries(t *testing.T) {
+	m := NewBandwidthMeter()
+	m.Open(0)
+	m.Record(units.Time(500*units.Nanosecond), 3500)
+	m.Close(units.Time(units.Microsecond))
+	// Post-close drain traffic: must not count and must not extend the
+	// window.
+	m.Record(units.Time(2*units.Microsecond), 4096)
+	m.Record(units.Time(3*units.Microsecond), 4096)
+	m.Close(units.Time(5 * units.Microsecond))
+	if m.Bytes() != 3500 || m.Messages() != 1 {
+		t.Fatalf("post-close deliveries counted: bytes=%d messages=%d", m.Bytes(), m.Messages())
+	}
+	if m.Window() != units.Microsecond {
+		t.Fatalf("window = %v, want 1us (close is final)", m.Window())
+	}
+	// Re-opening starts a fresh window and unfreezes the meter.
+	m.Open(units.Time(10 * units.Microsecond))
+	m.Record(units.Time(11*units.Microsecond), 100)
+	if m.Bytes() != 100 {
+		t.Fatalf("reopened meter did not record: bytes=%d", m.Bytes())
+	}
+}

@@ -1,0 +1,223 @@
+// Two-layer fat-tree fabric generation (the construction of Solnushkin's
+// "Automated Design of Two-Layer Fat-Tree Networks" specialized to the
+// paper's hardware): a row of leaf switches with hosts below and a row of
+// spine switches above, every leaf connected to every spine by a
+// configurable number of parallel trunks. Star and TwoTier are thin
+// wrappers over the same builder, so every topology shares one wiring and
+// routing derivation.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/ibswitch"
+	"repro/internal/link"
+	"repro/internal/model"
+)
+
+// FatTreeSpec configures the fabric generator.
+type FatTreeSpec struct {
+	// Leaves is the number of leaf (ToR) switches.
+	Leaves int
+	// HostsPerLeaf is the number of hosts below each leaf.
+	HostsPerLeaf int
+	// Spines is the number of spine switches. Zero builds a degenerate
+	// spineless fabric: a single leaf (the star rack), or two leaves joined
+	// by one direct trunk (the paper's two-switch setup).
+	Spines int
+	// Trunks is the number of parallel cables between each leaf-spine pair
+	// (or between the two leaves of a spineless fabric). Defaults to 1.
+	Trunks int
+	// MaxPorts bounds the radix of every switch in the fabric (0 = no
+	// bound). The paper's SX6012 has 12 ports; specs exceeding the budget
+	// are rejected rather than silently built.
+	MaxPorts int
+	// HostLink overrides the host-to-leaf cable parameters (nil = the
+	// fabric default, par.Link).
+	HostLink *model.LinkParams
+	// TrunkLink overrides the leaf-to-spine (or leaf-to-leaf) cable
+	// parameters (nil = the fabric default).
+	TrunkLink *model.LinkParams
+}
+
+// withDefaults fills unset optional fields.
+func (s FatTreeSpec) withDefaults() FatTreeSpec {
+	if s.Trunks == 0 {
+		s.Trunks = 1
+	}
+	return s
+}
+
+// uplinks is the number of up-facing ports on each leaf.
+func (s FatTreeSpec) uplinks() int {
+	if s.Spines > 0 {
+		return s.Spines * s.Trunks
+	}
+	if s.Leaves == 2 {
+		return s.Trunks
+	}
+	return 0
+}
+
+// Validate checks structural sanity and the port budget.
+func (s FatTreeSpec) Validate() error {
+	s = s.withDefaults()
+	if s.Leaves < 1 {
+		return fmt.Errorf("topology: fat-tree needs at least one leaf, got %d", s.Leaves)
+	}
+	if s.HostsPerLeaf < 1 {
+		return fmt.Errorf("topology: fat-tree needs at least one host per leaf, got %d", s.HostsPerLeaf)
+	}
+	if s.Spines < 0 || s.Trunks < 1 {
+		return fmt.Errorf("topology: fat-tree spine/trunk counts must be non-negative (spines=%d trunks=%d)", s.Spines, s.Trunks)
+	}
+	if s.Spines == 0 && s.Leaves > 2 {
+		return fmt.Errorf("topology: %d leaves need at least one spine (only 1- and 2-leaf fabrics may be spineless)", s.Leaves)
+	}
+	if s.MaxPorts > 0 {
+		if r := s.HostsPerLeaf + s.uplinks(); r > s.MaxPorts {
+			return fmt.Errorf("topology: leaf radix %d exceeds port budget %d", r, s.MaxPorts)
+		}
+		if s.Spines > 0 {
+			if r := s.Leaves * s.Trunks; r > s.MaxPorts {
+				return fmt.Errorf("topology: spine radix %d exceeds port budget %d", r, s.MaxPorts)
+			}
+		}
+	}
+	return nil
+}
+
+// NumHosts is the total host count of the fabric.
+func (s FatTreeSpec) NumHosts() int { return s.Leaves * s.HostsPerLeaf }
+
+// HostNode returns the node id of host h (0-based) under leaf l.
+func (s FatTreeSpec) HostNode(l, h int) int { return l*s.HostsPerLeaf + h }
+
+// LeafOf returns the leaf a node attaches to.
+func (s FatTreeSpec) LeafOf(node int) int { return node / s.HostsPerLeaf }
+
+func (s FatTreeSpec) String() string {
+	return fmt.Sprintf("%dx%d+%ds", s.Leaves, s.HostsPerLeaf, s.Spines)
+}
+
+// FatTree builds a two-layer fabric with automatically derived
+// destination-based routing. Node numbering is leaf-major: host h of leaf l
+// is node l*HostsPerLeaf + h.
+func FatTree(par model.FabricParams, spec FatTreeSpec, seed uint64) (*Cluster, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hosts := make([]int, spec.Leaves)
+	for i := range hosts {
+		hosts[i] = spec.HostsPerLeaf
+	}
+	c := newCluster(par, seed)
+	buildTwoLayer(c, hosts, spec.Spines, spec.Trunks,
+		resolveLink(par, spec.HostLink), resolveLink(par, spec.TrunkLink),
+		fabricNames{
+			leaf:     func(l int) string { return fmt.Sprintf("leaf%d", l) },
+			leafRNG:  func(l int) string { return fmt.Sprintf("leaf%d", l) },
+			spine:    func(s int) string { return fmt.Sprintf("spine%d", s) },
+			spineRNG: func(s int) string { return fmt.Sprintf("spine%d", s) },
+		})
+	return c, nil
+}
+
+func resolveLink(par model.FabricParams, override *model.LinkParams) model.LinkParams {
+	if override != nil {
+		return *override
+	}
+	return par.Link
+}
+
+// fabricNames decouples switch naming (and, critically, the labels their
+// jitter RNG streams derive from) from the builder, so the legacy Star and
+// TwoTier constructors reproduce their historical streams byte for byte.
+type fabricNames struct {
+	leaf, leafRNG, spine, spineRNG func(int) string
+}
+
+// buildTwoLayer wires a two-layer fabric into c and derives its routes.
+//
+// Port numbering: leaf l uses ports 0..hosts[l]-1 for its hosts (port h =
+// local host h) and ports hosts[l]+s*trunks+t for trunk t toward spine s;
+// spine s uses port l*trunks+t for trunk t toward leaf l. A spineless
+// two-leaf fabric puts its direct trunks at ports hosts[l]..hosts[l]+trunks-1.
+//
+// Routing is destination-based and deterministic. On the destination's own
+// leaf the route is the host port. On any other leaf the uplink is chosen
+// by destination id modulo the uplink count, spreading destinations across
+// spines and trunks without any stateful balancing; every spine reaches the
+// destination leaf on trunk dst%trunks. Because the choice is a pure
+// function of the destination, all packets of a flow share one path and
+// arrive in order, and a run's schedule is a pure function of (spec, seed).
+func buildTwoLayer(c *Cluster, hosts []int, spines, trunks int, hostLink, trunkLink model.LinkParams, names fabricNames) {
+	leaves := make([]*ibswitch.Switch, len(hosts))
+	uplinks := spines * trunks
+	if spines == 0 && len(hosts) == 2 {
+		uplinks = trunks
+	}
+	for l := range hosts {
+		leaves[l] = ibswitch.New(c.Eng, names.leaf(l), c.Params.Switch, hosts[l]+uplinks, c.RNG(names.leafRNG(l)))
+		c.Switches = append(c.Switches, leaves[l])
+	}
+	spineSwitches := make([]*ibswitch.Switch, spines)
+	for s := range spineSwitches {
+		spineSwitches[s] = ibswitch.New(c.Eng, names.spine(s), c.Params.Switch, len(hosts)*trunks, c.RNG(names.spineRNG(s)))
+		c.Switches = append(c.Switches, spineSwitches[s])
+	}
+
+	// Hosts, in node order.
+	node := 0
+	for l, sw := range leaves {
+		for h := 0; h < hosts[l]; h++ {
+			nic := c.addNIC(node)
+			nic.Attach(link.NewWire(c.Eng, fmt.Sprintf("n%d->%s", node, names.leaf(l)),
+				hostLink.Bandwidth, hostLink.Propagation, sw.Ingress(h), sw.IngressGate(h)))
+			sw.AttachPeer(h, hostLink, nic, link.Unlimited{})
+			node++
+		}
+	}
+
+	// Trunks.
+	if spines == 0 && len(hosts) == 2 {
+		for t := 0; t < trunks; t++ {
+			p0, p1 := hosts[0]+t, hosts[1]+t
+			leaves[0].AttachPeer(p0, trunkLink, leaves[1].Ingress(p1), leaves[1].IngressGate(p1))
+			leaves[1].AttachPeer(p1, trunkLink, leaves[0].Ingress(p0), leaves[0].IngressGate(p0))
+		}
+	}
+	for l, leaf := range leaves {
+		for s, spine := range spineSwitches {
+			for t := 0; t < trunks; t++ {
+				pL, pS := hosts[l]+s*trunks+t, l*trunks+t
+				leaf.AttachPeer(pL, trunkLink, spine.Ingress(pS), spine.IngressGate(pS))
+				spine.AttachPeer(pS, trunkLink, leaf.Ingress(pL), leaf.IngressGate(pL))
+			}
+		}
+	}
+
+	// Routes, derived for every (switch, destination) pair.
+	node = 0
+	for ld := range hosts {
+		for h := 0; h < hosts[ld]; h++ {
+			d := ib.NodeID(node)
+			for l, leaf := range leaves {
+				switch {
+				case l == ld:
+					leaf.SetRoute(d, h)
+				case spines == 0:
+					leaf.SetRoute(d, hosts[l]+node%trunks)
+				default:
+					leaf.SetRoute(d, hosts[l]+node%uplinks)
+				}
+			}
+			for _, spine := range spineSwitches {
+				spine.SetRoute(d, ld*trunks+node%trunks)
+			}
+			node++
+		}
+	}
+}

@@ -93,21 +93,15 @@ func BackToBack(par model.FabricParams, seed uint64) *Cluster {
 }
 
 // Star connects n hosts to one ToR switch (§V: the paper uses n = 7, with
-// node n-1 conventionally the destination server).
+// node n-1 conventionally the destination server). It is the one-leaf,
+// spineless special case of the fat-tree builder, with the rack's
+// historical switch name and RNG label so seeded runs reproduce exactly.
 func Star(par model.FabricParams, n int, seed uint64) *Cluster {
 	c := newCluster(par, seed)
-	sw := ibswitch.New(c.Eng, "tor", par.Switch, n, c.RNG("switch"))
-	c.Switches = append(c.Switches, sw)
-	for i := 0; i < n; i++ {
-		nic := c.addNIC(i)
-		// Host -> switch direction: the RNIC transmits into the switch's
-		// ingress buffer, governed by the port's credit gate.
-		nic.Attach(link.NewWire(c.Eng, fmt.Sprintf("n%d->tor", i),
-			par.Link.Bandwidth, par.Link.Propagation, sw.Ingress(i), sw.IngressGate(i)))
-		// Switch -> host direction.
-		sw.AttachPeer(i, par.Link, nic, link.Unlimited{})
-		sw.SetRoute(ib.NodeID(i), i)
-	}
+	buildTwoLayer(c, []int{n}, 0, 1, par.Link, par.Link, fabricNames{
+		leaf:    func(int) string { return "tor" },
+		leafRNG: func(int) string { return "switch" },
+	})
 	return c
 }
 
@@ -115,43 +109,14 @@ func Star(par model.FabricParams, n int, seed uint64) *Cluster {
 // the upstream switch, `down` hosts to the downstream switch, and the two
 // switches connect with one cable. Node numbering: upstream hosts first,
 // then downstream hosts; the destination server of the paper's experiment
-// is the last downstream node.
+// is the last downstream node. It is the two-leaf, spineless case of the
+// fat-tree builder, with the legacy switch names and RNG labels.
 func TwoTier(par model.FabricParams, up, down int, seed uint64) *Cluster {
 	c := newCluster(par, seed)
-	s1 := ibswitch.New(c.Eng, "up", par.Switch, up+1, c.RNG("switch-up"))
-	s2 := ibswitch.New(c.Eng, "down", par.Switch, down+1, c.RNG("switch-down"))
-	c.Switches = append(c.Switches, s1, s2)
-
-	for i := 0; i < up; i++ {
-		nic := c.addNIC(i)
-		nic.Attach(link.NewWire(c.Eng, fmt.Sprintf("n%d->up", i),
-			par.Link.Bandwidth, par.Link.Propagation, s1.Ingress(i), s1.IngressGate(i)))
-		s1.AttachPeer(i, par.Link, nic, link.Unlimited{})
-	}
-	for j := 0; j < down; j++ {
-		node := up + j
-		nic := c.addNIC(node)
-		nic.Attach(link.NewWire(c.Eng, fmt.Sprintf("n%d->down", node),
-			par.Link.Bandwidth, par.Link.Propagation, s2.Ingress(j), s2.IngressGate(j)))
-		s2.AttachPeer(j, par.Link, nic, link.Unlimited{})
-	}
-
-	// Inter-switch trunk on each switch's last port.
-	t1, t2 := up, down
-	s1.AttachPeer(t1, par.Link, s2.Ingress(t2), s2.IngressGate(t2))
-	s2.AttachPeer(t2, par.Link, s1.Ingress(t1), s1.IngressGate(t1))
-
-	// Routes: each switch reaches its local hosts directly and everything
-	// else over the trunk.
-	for i := 0; i < up+down; i++ {
-		node := ib.NodeID(i)
-		if i < up {
-			s1.SetRoute(node, i)
-			s2.SetRoute(node, t2)
-		} else {
-			s1.SetRoute(node, t1)
-			s2.SetRoute(node, i-up)
-		}
-	}
+	legacy := []string{"up", "down"}
+	buildTwoLayer(c, []int{up, down}, 0, 1, par.Link, par.Link, fabricNames{
+		leaf:    func(l int) string { return legacy[l] },
+		leafRNG: func(l int) string { return "switch-" + legacy[l] },
+	})
 	return c
 }

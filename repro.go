@@ -103,6 +103,23 @@ func NewTwoTier(par FabricParams, up, down int, seed uint64) *Cluster {
 	return &Cluster{c: topology.TwoTier(par, up, down, seed)}
 }
 
+// FatTreeSpec configures the two-layer fat-tree fabric generator:
+// leaf/spine counts, hosts per leaf, trunk multiplicity, optional port
+// budget and per-tier link overrides.
+type FatTreeSpec = topology.FatTreeSpec
+
+// NewFatTree builds a generalized two-layer leaf-spine fabric with
+// automatically derived destination-based routing. Node numbering is
+// leaf-major: host h of leaf l is node l*HostsPerLeaf + h. Star racks and
+// the two-switch topology are the one- and two-leaf special cases.
+func NewFatTree(par FabricParams, spec FatTreeSpec, seed uint64) (*Cluster, error) {
+	c, err := topology.FatTree(par, spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c}, nil
+}
+
 // SetPolicy selects the switch scheduling policy cluster-wide.
 func (cl *Cluster) SetPolicy(p Policy) { cl.c.SetPolicy(p) }
 
