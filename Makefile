@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-queue bench-sweep golden smoke-examples ci
+.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json test-alloc test-debugpackets golden smoke-examples ci
 
 all: vet build test
 
@@ -34,6 +34,26 @@ bench-queue:
 bench-sweep:
 	$(GO) test -run XXX -bench 'BenchmarkSweep' -benchtime 5x .
 
+# bench-json runs the benchmark suite with -benchmem and writes a
+# BENCH_<unix-time>.json trajectory snapshot (see cmd/benchjson), so perf
+# numbers can be committed and diffed across PRs. Staged through a temp
+# file (not a pipe) so a failing benchmark fails the target instead of
+# silently producing a partial snapshot.
+bench-json:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+		$(GO) test -run XXX -bench . -benchmem -benchtime 1x ./... > "$$tmp"; \
+		$(GO) run ./cmd/benchjson -out BENCH_$$(date +%s).json < "$$tmp"
+
+# test-alloc runs the allocation-regression tests: the steady-state hot
+# path (forwarding, converged traffic, incast) must stay at 0 allocs/packet.
+test-alloc:
+	$(GO) test -run 'ZeroAlloc' -v .
+
+# test-debugpackets runs the whole suite with the packet-pool poison mode
+# enabled, catching use-after-release and double-release of pooled packets.
+test-debugpackets:
+	$(GO) test -tags debugpackets ./...
+
 # golden regenerates the determinism golden files (fig7a star sweep and
 # fat-tree incast sweep) after an intentional model change.
 golden:
@@ -47,4 +67,4 @@ smoke-examples:
 		$(GO) run ./$$d >/dev/null; \
 	done
 
-ci: vet build test race cover smoke-examples
+ci: vet build test race cover test-alloc test-debugpackets smoke-examples

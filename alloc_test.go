@@ -1,0 +1,105 @@
+// Allocation-regression tests: the lock that keeps the hot path at zero
+// allocations per packet (ISSUE 3 / DESIGN.md "Hot-path memory discipline").
+//
+// Each test builds a fabric, runs it well past every transient that
+// legitimately allocates — pipeline fill, pool and ring growth, the credit
+// gate's rate-estimation windows — and then asserts with
+// testing.AllocsPerRun that continuing the simulation performs zero heap
+// allocations. Any future closure capture, map literal, or growing append
+// on a per-packet path fails these tests immediately.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// measureSteadyState warms c up to the given simulated time, then reports
+// the average allocations of advancing the simulation by step.
+func measureSteadyState(t *testing.T, c *topology.Cluster, warm units.Time, step units.Duration) float64 {
+	t.Helper()
+	c.Eng.RunUntil(warm)
+	if c.Eng.Processed() == 0 {
+		t.Fatal("warmup executed no events")
+	}
+	before := c.Eng.Processed()
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Eng.RunFor(step)
+	})
+	if c.Eng.Processed() == before {
+		t.Fatal("steady-state window executed no events")
+	}
+	return allocs
+}
+
+// TestZeroAllocOneToOneForwarding pins the full one-to-one WRITE path —
+// posting, segmentation, wire delivery, switch arbitration and forwarding,
+// ACK generation and completion — at zero steady-state allocations.
+func TestZeroAllocOneToOneForwarding(t *testing.T) {
+	c := topology.Star(model.HWTestbed(), 7, 1)
+	bsg, err := traffic.NewBSG(c.NIC(0), c.NIC(6), traffic.BSGConfig{Payload: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsg.Start(0)
+	if allocs := measureSteadyState(t, c, units.Time(units.Millisecond), 20*units.Microsecond); allocs != 0 {
+		t.Fatalf("one-to-one forwarding: %.2f allocs per steady-state step, want 0", allocs)
+	}
+	if bsg.Messages() == 0 {
+		t.Fatal("BSG delivered no messages")
+	}
+}
+
+// TestZeroAllocConvergedTraffic pins the paper's converged scenario — five
+// BSGs plus a latency probe sharing one drain port, the Fig. 7a steady
+// state — at zero allocations. This exercises the credit-limited path:
+// blocked reservations, escrowed credit returns, arbitration among many
+// inputs, and the LSG's closed RPerf loop with its loopback QP.
+func TestZeroAllocConvergedTraffic(t *testing.T) {
+	c := topology.Star(model.HWTestbed(), 7, 1)
+	for i := 0; i < 5; i++ {
+		bsg, err := traffic.NewBSG(c.NIC(i), c.NIC(6), traffic.BSGConfig{Payload: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsg.Start(0)
+	}
+	lsg, err := traffic.NewLSG(c.NIC(5), 6, traffic.LSGConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsg.Start()
+	if allocs := measureSteadyState(t, c, units.Time(2*units.Millisecond), 20*units.Microsecond); allocs != 0 {
+		t.Fatalf("converged 5-BSG+LSG traffic: %.2f allocs per steady-state step, want 0", allocs)
+	}
+	if lsg.RTT().Count() == 0 {
+		t.Fatal("LSG recorded no samples")
+	}
+}
+
+// TestZeroAllocFatTreeIncast pins a multi-switch fat-tree incast step at
+// zero allocations: five senders spread over two leaves converge through
+// two spines onto one drain host, exercising trunk arbitration, multi-hop
+// credit loops, and cross-switch kicks.
+func TestZeroAllocFatTreeIncast(t *testing.T) {
+	spec := topology.FatTreeSpec{Leaves: 2, HostsPerLeaf: 3, Spines: 2}
+	c, err := topology.FatTree(model.HWTestbed(), spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := spec.NumHosts() - 1
+	for n := 0; n < dst; n++ {
+		bsg, err := traffic.NewBSG(c.NIC(n), c.NIC(dst), traffic.BSGConfig{Payload: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsg.Start(0)
+	}
+	if allocs := measureSteadyState(t, c, units.Time(2*units.Millisecond), 20*units.Microsecond); allocs != 0 {
+		t.Fatalf("fat-tree incast: %.2f allocs per steady-state step, want 0", allocs)
+	}
+}

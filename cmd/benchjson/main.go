@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` output into a structured JSON
+// snapshot, so benchmark trajectories can be committed, diffed and plotted
+// across PRs (`make bench-json` writes BENCH_<unix>.json at the repo root).
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchmem ./... | benchjson [-out BENCH.json]
+//
+// It understands the standard benchmark line shape — iteration count,
+// ns/op, the -benchmem pair (B/op, allocs/op) and any custom
+// b.ReportMetric columns (e.g. events/op, lsg_p50_us) — plus the goos /
+// goarch / pkg / cpu header lines, which are recorded once per file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name string `json:"name"`
+	Pkg  string `json:"pkg,omitempty"`
+	Runs int64  `json:"runs"`
+	// Metrics maps unit -> value: "ns/op", "B/op", "allocs/op" and any
+	// custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the whole run.
+type Snapshot struct {
+	UnixTime int64    `json:"unix_time"`
+	Goos     string   `json:"goos,omitempty"`
+	Goarch   string   `json:"goarch,omitempty"`
+	CPU      string   `json:"cpu,omitempty"`
+	Results  []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	snap := Snapshot{UnixTime: time.Now().Unix()}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				r.Pkg = pkg
+				snap.Results = append(snap.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(snap.Results), *out)
+}
+
+// parseBenchLine decodes "BenchmarkName-8  123  456 ns/op  0 B/op ...".
+// Fields after the iteration count come in (value, unit) pairs.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix the testing package appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkSwitchForwarding-8   \t 2054689\t      1189 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkSwitchForwarding" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix not stripped?)", r.Name)
+	}
+	if r.Runs != 2054689 {
+		t.Fatalf("runs = %d", r.Runs)
+	}
+	if r.Metrics["ns/op"] != 1189 || r.Metrics["B/op"] != 0 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseBenchLineCustomMetric(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkSimulatorEventRate \t 27216\t 93079 ns/op\t 1472 events/op\t 0 B/op\t 0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Metrics["events/op"] != 1472 {
+		t.Fatalf("custom metric lost: %v", r.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",
+		"BenchmarkBroken abc 1 ns/op",
+		"Benchmark 1 2",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseBenchLineKeepsNonNumericSuffix(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkAblationWindow16KB-4 10 5 ns/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkAblationWindow16KB" {
+		t.Fatalf("name = %q", r.Name)
+	}
+}

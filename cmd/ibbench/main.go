@@ -5,6 +5,7 @@
 //
 //	ibbench [-fig all|fig4|fig5|...|fig13|eq2] [-measure 12ms] [-warmup 3ms]
 //	        [-seeds 3] [-parallel 0] [-csv dir]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Output is an aligned text table per experiment; -csv additionally writes
 // one CSV file per experiment into the given directory.
@@ -13,6 +14,11 @@
 // CPUs (0 = one worker per CPU, 1 = sequential). Tables are byte-identical
 // regardless of the setting: every scenario run owns its own engine and
 // RNG stream, and results are reduced in job order.
+//
+// -cpuprofile and -memprofile write pprof profiles of the regeneration —
+// the supported way to audit the simulator's hot path (the allocation
+// profile should show setup only; steady state is allocation-free, see
+// DESIGN.md "Hot-path memory discipline").
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,7 +42,46 @@ func main() {
 	seeds := flag.Int("seeds", 3, "number of seeds to average (paper: 3 runs)")
 	parallel := flag.Int("parallel", 0, "scenario worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	// Profiles are finalized explicitly (not via defer): fatal exits with
+	// os.Exit, which would skip defers and leave an unflushed CPU profile
+	// and no heap profile — profiling a failing run is exactly when the
+	// data matters.
+	var stopCPU func()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	finishProfiles := func() {
+		if stopCPU != nil {
+			stopCPU()
+			stopCPU = nil
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // flush dead setup objects so live retention reads true
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
 
 	opts := experiments.Options{
 		Measure:  units.Duration(measure.Nanoseconds()) * units.Nanosecond,
@@ -45,22 +92,31 @@ func main() {
 		opts.Seeds = append(opts.Seeds, uint64(s))
 	}
 
+	err := regenerate(*fig, *csvDir, opts)
+	finishProfiles() // before any exit: a failing run's profile still lands
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// regenerate runs the selected experiments and renders their tables.
+func regenerate(fig, csvDir string, opts experiments.Options) error {
 	var tables []*experiments.Table
-	if *fig == "all" {
+	if fig == "all" {
 		ts, err := experiments.All(opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tables = ts
 	} else {
-		for _, id := range strings.Split(*fig, ",") {
+		for _, id := range strings.Split(fig, ",") {
 			runner, ok := experiments.ByID(strings.TrimSpace(id))
 			if !ok {
-				fatal(fmt.Errorf("unknown experiment %q", id))
+				return fmt.Errorf("unknown experiment %q", id)
 			}
 			t, err := runner(opts)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			tables = append(tables, t)
 		}
@@ -68,12 +124,13 @@ func main() {
 
 	for _, t := range tables {
 		fmt.Println(t.String())
-		if *csvDir != "" {
-			if err := writeCSV(*csvDir, t); err != nil {
-				fatal(err)
+		if csvDir != "" {
+			if err := writeCSV(csvDir, t); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
 }
 
 func writeCSV(dir string, t *experiments.Table) error {

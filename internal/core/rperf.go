@@ -74,6 +74,13 @@ type Session struct {
 	tw, tl   units.Time
 	havePair int
 	postedAt units.Time
+
+	// Per-iteration callbacks, created once: the closed loop posts two
+	// messages per sample, so per-post closures would allocate on the
+	// steady-state path.
+	onWire rnic.CompletionFn
+	onLoop rnic.CompletionFn
+	gapFn  func()
 }
 
 // New prepares an RPerf session from src toward dst. The over-the-wire QP
@@ -96,6 +103,15 @@ func New(src *rnic.RNIC, dst ib.NodeID, cfg Config) (*Session, error) {
 	}
 	s.wire = src.CreateQP(ib.RC, dst, cfg.SL, rnic.WithEngine(0))
 	s.loop = src.CreateQP(ib.RC, src.Node(), cfg.SL, rnic.WithEngine(1))
+	s.onWire = func(at units.Time) {
+		s.tw = at
+		s.finish()
+	}
+	s.onLoop = func(at units.Time) {
+		s.tl = at
+		s.finish()
+	}
+	s.gapFn = func() { s.iterate() }
 	return s, nil
 }
 
@@ -112,14 +128,8 @@ func (s *Session) iterate() {
 	}
 	s.havePair = 0
 	s.postedAt = s.now() // TP: captured before posting, like rdtsc before ibv_post_send
-	s.nic.PostSend(s.wire, ib.VerbSend, s.cfg.Payload, func(at units.Time) {
-		s.tw = at
-		s.finish()
-	})
-	s.nic.PostSend(s.loop, ib.VerbSend, s.cfg.Payload, func(at units.Time) {
-		s.tl = at
-		s.finish()
-	})
+	s.nic.PostSend(s.wire, ib.VerbSend, s.cfg.Payload, s.onWire)
+	s.nic.PostSend(s.loop, ib.VerbSend, s.cfg.Payload, s.onLoop)
 }
 
 func (s *Session) finish() {
@@ -144,7 +154,7 @@ func (s *Session) finish() {
 		gap += units.Duration(s.rng.Uniform(0, float64(s.cfg.GapJitter)))
 	}
 	if gap > 0 {
-		s.nic.Engine().After(gap, "rperf:gap", func() { s.iterate() })
+		s.nic.Engine().After(gap, "rperf:gap", s.gapFn)
 		return
 	}
 	s.iterate()

@@ -154,6 +154,13 @@ type Packet struct {
 	LastInMsg bool // true on the final segment
 	Payload   units.ByteSize
 	SL        SL
+	// OpRef identifies the requester's pending-operation slot (-1 = none).
+	// Responders echo it on ACKs and READ responses, so the requester
+	// retires operations by direct slab index instead of a map lookup —
+	// a map keyed by the monotonically increasing MsgID rehashes
+	// periodically under insert/delete churn, which shows up as steady-state
+	// allocation. MsgID still travels alongside and is verified on retire.
+	OpRef int32
 	// VL is assigned per hop from the SL2VL table; it is mutable routing
 	// state, unlike the header fields above.
 	VL VL
@@ -189,20 +196,27 @@ func (p *Packet) String() string {
 // Segment splits a message payload into MTU-sized packet payloads. A zero
 // payload still produces one packet (e.g., a 0-byte SEND).
 func Segment(payload, mtu units.ByteSize) []units.ByteSize {
+	return SegmentAppend(nil, payload, mtu)
+}
+
+// SegmentAppend is Segment with caller-provided storage: segments are
+// appended to dst (normally a reused scratch sliced to [:0]), so the RNIC's
+// per-message hot path segments without allocating once the scratch has
+// grown to the steady-state message size.
+func SegmentAppend(dst []units.ByteSize, payload, mtu units.ByteSize) []units.ByteSize {
 	if mtu <= 0 {
 		panic("ib: non-positive MTU")
 	}
 	if payload <= 0 {
-		return []units.ByteSize{0}
+		return append(dst, 0)
 	}
-	var out []units.ByteSize
 	for payload > 0 {
 		chunk := payload
 		if chunk > mtu {
 			chunk = mtu
 		}
-		out = append(out, chunk)
+		dst = append(dst, chunk)
 		payload -= chunk
 	}
-	return out
+	return dst
 }

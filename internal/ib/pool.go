@@ -1,0 +1,60 @@
+package ib
+
+// PacketPool recycles Packets so steady-state simulation does not touch the
+// heap allocator per packet. It is NOT safe for concurrent use: each RNIC
+// owns one pool, which keeps pools inside the sealed-scenario boundary the
+// parallel runner depends on (DESIGN.md).
+//
+// Ownership contract (see DESIGN.md "Hot-path memory discipline"):
+//
+//   - Get returns a zeroed Packet owned by the caller. Ownership travels
+//     with the packet along wires and through switch queues.
+//   - The terminal consumer — the RNIC delivery path, after every observer
+//     hook has run — calls Put exactly once. Observers (meters, tests,
+//     tools) must not retain the pointer past their call.
+//   - A released packet may be recycled by any later Get, including a Get
+//     on a different RNIC's pool within the same scenario: pools trade
+//     packets freely because flows release at the far end (a destination
+//     reuses released data packets for the ACKs it generates).
+//
+// Build with -tags debugpackets to poison released packets and panic on
+// double-release or on injecting a released packet (AssertLive).
+type PacketPool struct {
+	free []*Packet
+	dbg  poolDebug
+}
+
+// poolCap bounds how many free packets a pool retains. Sustained READ
+// traffic releases responses at the requester while the responder keeps
+// allocating, so without a cap the requester's free list would grow without
+// bound; beyond the cap, packets go back to the garbage collector.
+const poolCap = 4096
+
+// Get returns a zeroed packet, recycling a released one when possible.
+func (p *PacketPool) Get() *Packet {
+	if n := len(p.free); n > 0 {
+		pkt := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.dbg.onGet(pkt)
+		*pkt = Packet{}
+		return pkt
+	}
+	return &Packet{}
+}
+
+// Put releases a packet back to the pool. The caller must be the packet's
+// terminal consumer; the pointer must not be used afterwards.
+func (p *PacketPool) Put(pkt *Packet) {
+	if pkt == nil {
+		return
+	}
+	p.dbg.onPut(pkt)
+	if len(p.free) >= poolCap {
+		return // let the GC have it rather than grow without bound
+	}
+	p.free = append(p.free, pkt)
+}
+
+// FreeCount reports how many released packets the pool holds (tests).
+func (p *PacketPool) FreeCount() int { return len(p.free) }

@@ -1,0 +1,44 @@
+//go:build debugpackets
+
+package ib
+
+import "fmt"
+
+// kindPoisoned overwrites Kind on release so any later read of the packet
+// is loudly wrong instead of quietly stale.
+const kindPoisoned PacketKind = -0x0DED
+
+// poolDebug poisons released packets. Double release and use-after-release
+// both manifest as kindPoisoned, which Put and AssertLive check.
+type poolDebug struct{}
+
+func (poolDebug) onGet(pkt *Packet) {
+	if pkt.Kind != kindPoisoned {
+		panic(fmt.Sprintf("ib: pool free list holds a live packet %p (pool corruption)", pkt))
+	}
+}
+
+func (poolDebug) onPut(pkt *Packet) {
+	if pkt.Kind == kindPoisoned {
+		panic(fmt.Sprintf("ib: double release of packet %p", pkt))
+	}
+	// Poison every field a consumer might read, so a retained pointer
+	// misroutes or fails loudly instead of reading stale-but-plausible data.
+	*pkt = Packet{
+		Kind:     kindPoisoned,
+		SrcNode:  -1,
+		DestNode: -1,
+		MsgID:    ^uint64(0),
+		SeqInMsg: -1,
+	}
+}
+
+// AssertLive panics when pkt has been released to a pool. Injection points
+// (wire send, switch ingress, RNIC delivery) call it so a use-after-release
+// is caught where the packet re-enters the model, with the packet identity
+// in the panic message.
+func AssertLive(pkt *Packet) {
+	if pkt.Kind == kindPoisoned {
+		panic(fmt.Sprintf("ib: use of released packet %p (src=%d dst=%d)", pkt, pkt.SrcNode, pkt.DestNode))
+	}
+}

@@ -1,0 +1,47 @@
+//go:build debugpackets
+
+package ib
+
+import "testing"
+
+// The poison mode must actually catch the bugs it exists for; these run
+// only under -tags debugpackets (CI has a dedicated step).
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestDebugDoubleReleasePanics(t *testing.T) {
+	var p PacketPool
+	pkt := &Packet{Kind: KindData}
+	p.Put(pkt)
+	mustPanic(t, "double release", func() { p.Put(pkt) })
+}
+
+func TestDebugUseAfterReleasePanics(t *testing.T) {
+	var p PacketPool
+	pkt := &Packet{Kind: KindData}
+	p.Put(pkt)
+	mustPanic(t, "AssertLive on released packet", func() { AssertLive(pkt) })
+}
+
+func TestDebugReleasedPacketIsPoisoned(t *testing.T) {
+	var p PacketPool
+	pkt := &Packet{Kind: KindData, SrcNode: 3, DestNode: 5, MsgID: 42}
+	p.Put(pkt)
+	if pkt.Kind == KindData || pkt.SrcNode == 3 || pkt.DestNode == 5 || pkt.MsgID == 42 {
+		t.Fatalf("released packet retains live-looking fields: %+v", *pkt)
+	}
+	// Recycling clears the poison again.
+	got := p.Get()
+	if got != pkt {
+		t.Fatalf("pool did not recycle the poisoned packet")
+	}
+	AssertLive(got) // must not panic
+}

@@ -1,0 +1,15 @@
+//go:build !debugpackets
+
+package ib
+
+// poolDebug is compiled out of release builds: the ownership contract is
+// enforced by the debugpackets build tag (pool_debug.go) and by the
+// allocation-regression tests, not by per-packet checks on the hot path.
+type poolDebug struct{}
+
+func (poolDebug) onGet(*Packet) {}
+func (poolDebug) onPut(*Packet) {}
+
+// AssertLive is a no-op in release builds. Build with -tags debugpackets to
+// have injection points panic on a released packet.
+func AssertLive(*Packet) {}

@@ -14,6 +14,7 @@ package ibswitch
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/ib"
 	"repro/internal/link"
@@ -71,6 +72,48 @@ type queuedPacket struct {
 	outPort int
 }
 
+// vlQueue is a growable FIFO ring of queued packets. The seed stored plain
+// slices popped with q[1:], which walks the backing array forward and forces
+// a reallocation on a later append — an amortized heap allocation per
+// forwarded packet. The ring reuses its storage indefinitely: once grown to
+// the steady-state depth it never allocates again.
+type vlQueue struct {
+	buf  []queuedPacket
+	head int
+	n    int
+}
+
+func (q *vlQueue) len() int { return q.n }
+
+// front returns the queue head. The pointer is valid until the next push or
+// pop.
+func (q *vlQueue) front() *queuedPacket { return &q.buf[q.head] }
+
+// at returns entry i in FIFO order (diagnostics).
+func (q *vlQueue) at(i int) *queuedPacket { return &q.buf[(q.head+i)%len(q.buf)] }
+
+func (q *vlQueue) push(p queuedPacket) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *vlQueue) pop() {
+	q.buf[q.head] = queuedPacket{} // drop the packet reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+}
+
+func (q *vlQueue) grow() {
+	nb := make([]queuedPacket, max(8, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = nb, 0
+}
+
 // Port is one switch port: an ingress side (buffers + credit gate) and an
 // egress side (arbiter state + wire to the attached device).
 type Port struct {
@@ -79,8 +122,13 @@ type Port struct {
 
 	// Ingress.
 	gate   *link.BufferGate
-	queues [ib.NumVLs][]queuedPacket
+	queues [ib.NumVLs]vlQueue
 	qbytes [ib.NumVLs]units.ByteSize
+	// vlMask has bit v set iff queues[v] is non-empty — the queue-head
+	// metadata the egress arbiters iterate instead of probing all NumVLs
+	// rings of every input port on every pick.
+	vlMask  uint16
+	departH departHandler
 
 	// Egress.
 	wire         *link.Wire
@@ -89,6 +137,24 @@ type Port struct {
 	scheduled    *sim.Event // the single pending pick, if any
 	rrNext       int
 	arb          vlarbState
+	// elig is the arbiter's candidate scratch, reused across picks so
+	// steady-state arbitration performs no growing appends.
+	elig []candidate
+}
+
+// HandleEvent runs the pending egress evaluation (the typed form of the old
+// per-wake closure; see Switch.wake).
+func (p *Port) HandleEvent(*sim.Event) {
+	p.scheduled = nil
+	p.sw.pick(p)
+}
+
+// departHandler applies a scheduled ingress-buffer departure. Payload:
+// A = VL, B = bytes.
+type departHandler struct{ p *Port }
+
+func (d *departHandler) HandleEvent(ev *sim.Event) {
+	d.p.gate.OnDepart(ib.VL(ev.A), units.ByteSize(ev.B))
 }
 
 type vlarbState struct {
@@ -136,6 +202,7 @@ func New(eng *sim.Engine, name string, par model.SwitchParams, nPorts int, jitte
 	sw.listed = listedVLs(sw.vlarb)
 	for i := 0; i < nPorts; i++ {
 		p := &Port{sw: sw, idx: i}
+		p.departH.p = p
 		p.gate = link.NewBufferGate(eng, par.CreditReturnDelay, par.WindowFor)
 		sw.ports = append(sw.ports, p)
 	}
@@ -214,6 +281,7 @@ func (in ingress) DeliverArrival(pkt *ib.Packet, arriveStart, arriveEnd units.Ti
 }
 
 func (p *Port) deliver(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
+	ib.AssertLive(pkt)
 	sw := p.sw
 	out, ok := sw.routes[pkt.DestNode]
 	if !ok {
@@ -226,13 +294,14 @@ func (p *Port) deliver(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
 	if sw.par.JitterMean > 0 {
 		ready = ready.Add(units.Duration(sw.jitter.Exp(float64(sw.par.JitterMean))))
 	}
-	p.queues[vl] = append(p.queues[vl], queuedPacket{
+	p.queues[vl].push(queuedPacket{
 		pkt:     pkt,
 		arrival: arriveStart,
 		ready:   ready,
 		size:    pkt.WireSize(),
 		outPort: out,
 	})
+	p.vlMask |= 1 << vl
 	p.qbytes[vl] += pkt.WireSize()
 	sw.kick(sw.ports[out])
 }
@@ -304,7 +373,9 @@ type candidate struct {
 	qp     queuedPacket
 }
 
-// pick runs the egress arbiter for out.
+// pick runs the egress arbiter for out. It reuses out.elig as candidate
+// scratch and walks each input port's non-empty-VL mask, so a steady-state
+// arbitration touches no allocator.
 func (sw *Switch) pick(out *Port) {
 	now := sw.eng.Now()
 	if out.wire == nil {
@@ -315,16 +386,14 @@ func (sw *Switch) pick(out *Port) {
 		return
 	}
 
-	var eligible []candidate
+	eligible := out.elig[:0]
 	nextReady := units.MaxTime
-	activeInputs := map[int]bool{}
+	activeInputs := 0
 	for _, in := range sw.ports {
-		for vl := 0; vl < ib.NumVLs; vl++ {
-			q := in.queues[vl]
-			if len(q) == 0 {
-				continue
-			}
-			head := q[0]
+		inActive := false
+		for mask := in.vlMask; mask != 0; mask &= mask - 1 {
+			vl := bits.TrailingZeros16(mask)
+			head := in.queues[vl].front()
 			if head.outPort != out.idx {
 				continue // head-of-line: rest of this FIFO is blocked
 			}
@@ -332,7 +401,7 @@ func (sw *Switch) pick(out *Port) {
 			// standing backlogs; a port holding less than two full frames
 			// (e.g. the LSG's lone 64 B probe) does not slow the crossbar.
 			if in.qbytes[vl] > arbBacklogThreshold {
-				activeInputs[in.idx] = true
+				inActive = true
 			}
 			if head.ready > now {
 				if head.ready < nextReady {
@@ -355,10 +424,14 @@ func (sw *Switch) pick(out *Port) {
 			}
 			// Tentatively reserved; only one candidate wins, so release
 			// the others below by tracking reservations.
-			eligible = append(eligible, candidate{inPort: in.idx, vl: ib.VL(vl), qp: head})
+			eligible = append(eligible, candidate{inPort: in.idx, vl: ib.VL(vl), qp: *head})
+		}
+		if inActive {
+			activeInputs++
 		}
 	}
 	if len(eligible) == 0 {
+		out.elig = eligible // keep grown capacity for the next pick
 		if nextReady < units.MaxTime {
 			sw.wake(out, nextReady)
 		}
@@ -373,7 +446,12 @@ func (sw *Switch) pick(out *Port) {
 		}
 		sw.unreserve(out, c)
 	}
-	sw.transmit(out, chosen, len(activeInputs))
+	sw.transmit(out, chosen, activeInputs)
+	// Park the scratch with its packet references dropped — a grown
+	// candidate buffer on an idle port must not pin packets (same
+	// discipline as vlQueue.pop and the engine queue slots).
+	clear(eligible)
+	out.elig = eligible[:0]
 }
 
 // unreserve gives back a tentative downstream reservation. The Unlimited
@@ -423,24 +501,26 @@ func chooseFCFS(eligible []candidate) candidate {
 	return best
 }
 
-// chooseRR scans input ports cyclically from the pointer.
+// chooseRR scans input ports cyclically from the pointer, serving the
+// lowest eligible VL of the first port that holds any candidate. The scan
+// is over the eligible slice directly — small by construction — rather than
+// a per-pick map of per-port slices.
 func chooseRR(out *Port, eligible []candidate) candidate {
 	n := len(out.sw.ports)
-	byPort := map[int][]candidate{}
-	for _, c := range eligible {
-		byPort[c.inPort] = append(byPort[c.inPort], c)
-	}
 	for off := 0; off < n; off++ {
 		idx := (out.rrNext + off) % n
-		if cs, ok := byPort[idx]; ok {
-			best := cs[0]
-			for _, c := range cs[1:] {
-				if c.vl < best.vl {
-					best = c
-				}
+		best := -1
+		for i := range eligible {
+			if eligible[i].inPort != idx {
+				continue
 			}
+			if best < 0 || eligible[i].vl < eligible[best].vl {
+				best = i
+			}
+		}
+		if best >= 0 {
 			out.rrNext = (idx + 1) % n
-			return best
+			return eligible[best]
 		}
 	}
 	panic("ibswitch: RR found no candidate")
@@ -467,49 +547,76 @@ func (sw *Switch) chooseVLArb(out *Port, eligible []candidate) candidate {
 		st.inited = true
 		sw.replenish(st)
 	}
-	configured := eligible[:0:0]
-	for _, c := range eligible {
-		if sw.listed[c.vl] {
-			configured = append(configured, c)
+	anyListed := false
+	for i := range eligible {
+		if sw.listed[eligible[i].vl] {
+			anyListed = true
+			break
 		}
 	}
-	if len(configured) == 0 {
+	if !anyListed {
 		// Only unconfigured VLs hold traffic: drain them FCFS rather than
 		// deadlock (background priority, no token accounting).
 		return chooseFCFS(eligible)
 	}
-	eligible = configured
-	byVL := map[ib.VL][]candidate{}
-	for _, c := range eligible {
-		byVL[c.vl] = append(byVL[c.vl], c)
-	}
-	pickFrom := func(vl ib.VL) candidate {
-		cs := byVL[vl]
-		best := cs[0]
-		for _, c := range cs[1:] {
-			if c.qp.arrival < best.qp.arrival {
-				best = c
-			}
-		}
-		st.tokens[vl] -= int64(best.qp.size)
-		return best
-	}
+	// Table entries name listed VLs only, so scanning eligible by the
+	// entry's VL visits exactly the configured candidates — no filtered
+	// copy, no per-pick VL map.
 	for iter := 0; iter < 64; iter++ {
 		for _, e := range sw.vlarb.High {
-			if len(byVL[e.VL]) > 0 && st.tokens[e.VL] > 0 {
-				return pickFrom(e.VL)
+			if st.tokens[e.VL] <= 0 {
+				continue
+			}
+			if i := oldestOfVL(eligible, e.VL); i >= 0 {
+				st.tokens[e.VL] -= int64(eligible[i].qp.size)
+				return eligible[i]
 			}
 		}
 		for _, e := range sw.vlarb.Low {
-			if len(byVL[e.VL]) > 0 && st.tokens[e.VL] > 0 {
-				return pickFrom(e.VL)
+			if st.tokens[e.VL] <= 0 {
+				continue
+			}
+			if i := oldestOfVL(eligible, e.VL); i >= 0 {
+				st.tokens[e.VL] -= int64(eligible[i].qp.size)
+				return eligible[i]
 			}
 		}
 		sw.replenish(st)
 	}
-	// Token weights are tiny relative to a packet; serve FCFS as a
-	// safety valve rather than livelock.
-	return chooseFCFS(eligible)
+	// Token weights are tiny relative to a packet; serve the listed VLs
+	// FCFS as a safety valve rather than livelock.
+	return chooseFCFSListed(eligible, &sw.listed)
+}
+
+// oldestOfVL returns the index of the oldest candidate on vl, or -1 when
+// the VL holds no candidate. Ties keep the earlier index, matching FCFS.
+func oldestOfVL(eligible []candidate, vl ib.VL) int {
+	best := -1
+	for i := range eligible {
+		if eligible[i].vl != vl {
+			continue
+		}
+		if best < 0 || eligible[i].qp.arrival < eligible[best].qp.arrival {
+			best = i
+		}
+	}
+	return best
+}
+
+// chooseFCFSListed is chooseFCFS restricted to VLs marked in listed.
+func chooseFCFSListed(eligible []candidate, listed *[ib.NumVLs]bool) candidate {
+	best := -1
+	for i := range eligible {
+		if !listed[eligible[i].vl] {
+			continue
+		}
+		if best < 0 ||
+			eligible[i].qp.arrival < eligible[best].qp.arrival ||
+			(eligible[i].qp.arrival == eligible[best].qp.arrival && eligible[i].inPort < eligible[best].inPort) {
+			best = i
+		}
+	}
+	return eligible[best]
 }
 
 // replenish adds one round of weight to every configured VL, capping the
@@ -533,19 +640,19 @@ func (sw *Switch) replenish(st *vlarbState) {
 func (sw *Switch) transmit(out *Port, c candidate, activeInputs int) {
 	now := sw.eng.Now()
 	in := sw.ports[c.inPort]
-	q := in.queues[c.vl]
-	if len(q) == 0 || q[0].pkt != c.qp.pkt {
+	q := &in.queues[c.vl]
+	if q.len() == 0 || q.front().pkt != c.qp.pkt {
 		panic("ibswitch: queue head changed during arbitration")
 	}
-	in.queues[c.vl] = q[1:]
+	q.pop()
 	in.qbytes[c.vl] -= c.qp.size
-	// Dequeuing may expose a head bound for a different egress port; that
-	// port must re-arbitrate or a rare flow behind a busy one would starve
-	// (classic input-queued switch bookkeeping).
-	if len(in.queues[c.vl]) > 0 {
-		if next := in.queues[c.vl][0].outPort; next != out.idx {
-			sw.kick(sw.ports[next])
-		}
+	if q.len() == 0 {
+		in.vlMask &^= 1 << c.vl
+	} else if next := q.front().outPort; next != out.idx {
+		// Dequeuing may expose a head bound for a different egress port;
+		// that port must re-arbitrate or a rare flow behind a busy one
+		// would starve (classic input-queued switch bookkeeping).
+		sw.kick(sw.ports[next])
 	}
 
 	if lim := sw.limits[c.vl]; lim != nil {
@@ -565,12 +672,10 @@ func (sw *Switch) transmit(out *Port, c candidate, activeInputs int) {
 	sw.ForwardedPackets++
 
 	// The packet leaves the input buffer when its last bit leaves the
-	// egress (cut-through: ingress and egress drain together).
-	vl := c.vl
-	size := c.qp.size
-	sw.eng.At(now.Add(ser), "switch:depart", func() {
-		in.gate.OnDepart(vl, size)
-	})
+	// egress (cut-through: ingress and egress drain together). Typed event:
+	// one departure per forwarded packet.
+	ev := sw.eng.AtEvent(now.Add(ser), "switch:depart", &in.departH)
+	ev.A, ev.B = int64(c.vl), int64(c.qp.size)
 	sw.wake(out, out.egressFreeAt)
 }
 
@@ -595,18 +700,16 @@ func (sw *Switch) wake(out *Port, at units.Time) {
 		sw.eng.Reschedule(out.scheduled, at)
 		return
 	}
-	out.scheduled = sw.eng.At(at, "switch:pick", func() {
-		out.scheduled = nil
-		sw.pick(out)
-	})
+	out.scheduled = sw.eng.AtEvent(at, "switch:pick", out)
 }
 
 // QueuedBytes reports the total bytes buffered at input port i for vl
 // (diagnostics and tests).
 func (sw *Switch) QueuedBytes(i int, vl ib.VL) units.ByteSize {
 	var total units.ByteSize
-	for _, q := range sw.ports[i].queues[vl] {
-		total += q.size
+	q := &sw.ports[i].queues[vl]
+	for j := 0; j < q.len(); j++ {
+		total += q.at(j).size
 	}
 	return total
 }

@@ -1,0 +1,72 @@
+package ibswitch
+
+import (
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/units"
+)
+
+// The VL ring must preserve FIFO order across wrap-around and growth —
+// the two regimes a plain slice queue never exercises.
+func TestVLQueueFIFOAcrossWrapAndGrowth(t *testing.T) {
+	var q vlQueue
+	next := 0  // next value to push
+	front := 0 // next value expected at the front
+	push := func() {
+		q.push(queuedPacket{arrival: units.Time(next), size: units.ByteSize(next)})
+		next++
+	}
+	pop := func() {
+		t.Helper()
+		if got := q.front().arrival; got != units.Time(front) {
+			t.Fatalf("front = %v, want %v (len %d)", got, front, q.len())
+		}
+		q.pop()
+		front++
+	}
+	// Interleave pushes and pops so head walks around the ring while the
+	// buffer grows through several capacities.
+	for round := 0; round < 200; round++ {
+		push()
+		push()
+		push()
+		pop()
+		pop()
+	}
+	for q.len() > 0 {
+		pop()
+	}
+	if front != next {
+		t.Fatalf("popped %d of %d pushed", front, next)
+	}
+}
+
+func TestVLQueuePopClearsPacketReference(t *testing.T) {
+	var q vlQueue
+	q.push(queuedPacket{pkt: &ib.Packet{Kind: ib.KindData}})
+	head := q.head
+	q.pop()
+	if q.buf[head].pkt != nil {
+		t.Fatal("pop left a packet pointer in the vacated slot")
+	}
+}
+
+func TestVLQueueAtIteratesInFIFOOrder(t *testing.T) {
+	var q vlQueue
+	// Force a wrapped layout.
+	for i := 0; i < 10; i++ {
+		q.push(queuedPacket{size: units.ByteSize(i)})
+	}
+	for i := 0; i < 6; i++ {
+		q.pop()
+	}
+	for i := 10; i < 14; i++ {
+		q.push(queuedPacket{size: units.ByteSize(i)})
+	}
+	for i := 0; i < q.len(); i++ {
+		if got := q.at(i).size; got != units.ByteSize(6+i) {
+			t.Fatalf("at(%d) = %d, want %d", i, got, 6+i)
+		}
+	}
+}

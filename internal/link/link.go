@@ -45,6 +45,14 @@ type Endpoint interface {
 	DeliverArrival(pkt *ib.Packet, arriveStart, arriveEnd units.Time)
 }
 
+// Waiter is notified when a blocked reservation is granted. It is the
+// allocation-free counterpart of ReserveWhenAvailable's closure: a
+// transmitter that blocks on credits registers itself (a long-lived object)
+// instead of capturing a per-packet closure.
+type Waiter interface {
+	CreditGranted()
+}
+
 // Gate is the transmitter-facing view of a downstream buffer's credits.
 type Gate interface {
 	// TryReserve takes bytes of credit for vl if available.
@@ -52,6 +60,10 @@ type Gate interface {
 	// ReserveWhenAvailable runs fn once bytes of credit for vl have been
 	// reserved on the caller's behalf. Callbacks are FIFO per VL.
 	ReserveWhenAvailable(vl ib.VL, bytes units.ByteSize, fn func())
+	// ReserveForWaiter is ReserveWhenAvailable without the closure: w is
+	// notified once the bytes have been reserved. Waiters and closures
+	// share one FIFO per VL.
+	ReserveForWaiter(vl ib.VL, bytes units.ByteSize, w Waiter)
 }
 
 // Unlimited is the gate of a receiver that never back-pressures. RNIC
@@ -64,6 +76,9 @@ func (Unlimited) TryReserve(ib.VL, units.ByteSize) bool { return true }
 
 // ReserveWhenAvailable runs fn immediately.
 func (Unlimited) ReserveWhenAvailable(_ ib.VL, _ units.ByteSize, fn func()) { fn() }
+
+// ReserveForWaiter notifies w immediately.
+func (Unlimited) ReserveForWaiter(_ ib.VL, _ units.ByteSize, w Waiter) { w.CreditGranted() }
 
 // Wire is one direction of a cable: a serialization resource owned by its
 // transmitter plus a propagation delay. Transmitters must serialize their
@@ -100,6 +115,7 @@ func (w *Wire) Bandwidth() units.Bandwidth { return w.bw }
 // credits and ensured the wire is free. It returns the injection end time
 // (last bit leaves the transmitter).
 func (w *Wire) Send(pkt *ib.Packet) units.Time {
+	ib.AssertLive(pkt)
 	now := w.eng.Now()
 	if now < w.freeAt {
 		panic(fmt.Sprintf("link %s: overlapping Send at %v, busy until %v", w.name, now, w.freeAt))
@@ -108,21 +124,39 @@ func (w *Wire) Send(pkt *ib.Packet) units.Time {
 	w.freeAt = now.Add(ser)
 	start := now.Add(w.prop)
 	end := w.freeAt.Add(w.prop)
-	peer, p := w.peer, pkt
 	// Deliver when the first bit lands. Receivers that act on full receipt
 	// (an RNIC generating an ACK, a meter) use the end timestamp; a switch
 	// may begin cut-through forwarding relative to start. Because every
 	// port runs at the same rate, an egress that starts after
 	// start+BaseLatency can never outrun the still-arriving tail.
-	w.eng.At(start, "link:deliver", func() {
-		peer.DeliverArrival(p, start, end)
-	})
+	// Scheduled as a typed event — a closure here would be one heap
+	// allocation per packet per hop.
+	ev := w.eng.AtEvent(start, "link:deliver", w)
+	ev.Ptr, ev.T0, ev.T1 = pkt, start, end
 	return w.freeAt
 }
 
+// HandleEvent delivers a scheduled arrival (the typed form of the old
+// per-packet delivery closure). Payload: Ptr = packet, T0 = first bit at
+// the receiver, T1 = last bit.
+func (w *Wire) HandleEvent(ev *sim.Event) {
+	w.peer.DeliverArrival(ev.Ptr.(*ib.Packet), ev.T0, ev.T1)
+}
+
+// waiter is one queued reservation: either a closure (fn) or a Waiter (w).
 type waiter struct {
 	bytes units.ByteSize
 	fn    func()
+	w     Waiter
+}
+
+// grant notifies the blocked transmitter that its bytes are reserved.
+func (wt waiter) grant() {
+	if wt.w != nil {
+		wt.w.CreditGranted()
+		return
+	}
+	wt.fn()
 }
 
 type vlState struct {
@@ -229,6 +263,29 @@ func (s *vlState) takeAvail(bytes units.ByteSize) {
 	}
 }
 
+// popWaiter removes the front waiter, compacting in place: advancing the
+// slice (waiters[1:]) would walk the backing array forward and force an
+// allocation on a later append, which the credit-limited steady state hits
+// once per packet.
+func (s *vlState) popWaiter() {
+	n := copy(s.waiters, s.waiters[1:])
+	s.waiters[n] = waiter{} // drop the closure/waiter references
+	s.waiters = s.waiters[:n]
+}
+
+// grantWaiters serves queued reservations FIFO while credit suffices.
+func (s *vlState) grantWaiters() {
+	for len(s.waiters) > 0 {
+		wt := s.waiters[0]
+		if s.avail < wt.bytes {
+			break
+		}
+		s.takeAvail(wt.bytes)
+		s.popWaiter()
+		wt.grant()
+	}
+}
+
 // SetFrozen toggles frozen-occupancy pacing (true by default). With false
 // the gate behaves as a plain credit window: occupancy converges to ~W
 // under oversubscription. Exposed for the ablation study.
@@ -251,14 +308,23 @@ func (g *BufferGate) TryReserve(vl ib.VL, bytes units.ByteSize) bool {
 
 // ReserveWhenAvailable implements Gate.
 func (g *BufferGate) ReserveWhenAvailable(vl ib.VL, bytes units.ByteSize, fn func()) {
+	g.reserveQueued(vl, waiter{bytes: bytes, fn: fn})
+}
+
+// ReserveForWaiter implements Gate (the zero-allocation reservation path).
+func (g *BufferGate) ReserveForWaiter(vl ib.VL, bytes units.ByteSize, w Waiter) {
+	g.reserveQueued(vl, waiter{bytes: bytes, w: w})
+}
+
+func (g *BufferGate) reserveQueued(vl ib.VL, wt waiter) {
 	s := &g.vls[vl]
-	if len(s.waiters) == 0 && s.avail >= bytes {
-		s.takeAvail(bytes)
-		fn()
+	if len(s.waiters) == 0 && s.avail >= wt.bytes {
+		s.takeAvail(wt.bytes)
+		wt.grant()
 		return
 	}
 	s.minAvail = 0 // a queued waiter means the sender is credit-limited
-	s.waiters = append(s.waiters, waiter{bytes: bytes, fn: fn})
+	s.waiters = append(s.waiters, wt)
 }
 
 // Unreserve returns a reservation that will not be used (an arbitration
@@ -286,15 +352,7 @@ func (g *BufferGate) Unreserve(vl ib.VL, bytes units.ByteSize) {
 	}
 	s.reserved -= bytes
 	s.avail += bytes
-	for len(s.waiters) > 0 {
-		w := s.waiters[0]
-		if s.avail < w.bytes {
-			break
-		}
-		s.takeAvail(w.bytes)
-		s.waiters = s.waiters[1:]
-		w.fn()
-	}
+	s.grantWaiters()
 }
 
 // Occupancy reports the bytes currently resident in the VL's buffer.
@@ -408,24 +466,24 @@ func (g *BufferGate) target(s *vlState) units.ByteSize {
 	return t
 }
 
+// scheduleRelease delays a credit return by the FC-update propagation time.
+// Typed event: credits return once per departure, so a closure here would
+// allocate per packet. Payload: A = VL, B = bytes.
 func (g *BufferGate) scheduleRelease(vl ib.VL, bytes units.ByteSize) {
-	g.eng.After(g.returnDelay, "link:credit", func() {
-		s := &g.vls[vl]
-		s.avail += bytes
-		if s.avail+s.reserved+s.resident+s.escrow > s.window {
-			panic("link: credit conservation violated")
-		}
-		for len(s.waiters) > 0 {
-			w := s.waiters[0]
-			if s.avail < w.bytes {
-				break
-			}
-			s.takeAvail(w.bytes)
-			s.waiters = s.waiters[1:]
-			w.fn()
-		}
-		for _, hook := range g.onRelease {
-			hook()
-		}
-	})
+	ev := g.eng.AfterEvent(g.returnDelay, "link:credit", g)
+	ev.A, ev.B = int64(vl), int64(bytes)
+}
+
+// HandleEvent applies a delayed credit return scheduled by scheduleRelease.
+func (g *BufferGate) HandleEvent(ev *sim.Event) {
+	vl, bytes := ib.VL(ev.A), units.ByteSize(ev.B)
+	s := &g.vls[vl]
+	s.avail += bytes
+	if s.avail+s.reserved+s.resident+s.escrow > s.window {
+		panic("link: credit conservation violated")
+	}
+	s.grantWaiters()
+	for _, hook := range g.onRelease {
+		hook()
+	}
 }

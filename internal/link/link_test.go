@@ -359,3 +359,57 @@ func TestStoppedSenderPeakReWindows(t *testing.T) {
 		t.Errorf("gate still escrows %d B of credits after the regime change", s.escrow)
 	}
 }
+
+// testWaiter implements Waiter by counting grants.
+type testWaiter struct{ grants []int }
+
+func (w *testWaiter) CreditGranted() { w.grants = append(w.grants, len(w.grants)+1) }
+
+func TestUnlimitedGateWaiter(t *testing.T) {
+	var g Unlimited
+	w := &testWaiter{}
+	g.ReserveForWaiter(0, 1<<40, w)
+	if len(w.grants) != 1 {
+		t.Fatal("unlimited gate did not notify the waiter immediately")
+	}
+}
+
+// Waiter-interface and closure reservations share one FIFO per VL, in
+// strict arrival order.
+func TestGateWaiterAndClosureShareFIFO(t *testing.T) {
+	eng := sim.New()
+	g := newGate(eng, 1000)
+	if !g.TryReserve(0, 1000) {
+		t.Fatal("reserve failed")
+	}
+	var order []string
+	g.ReserveWhenAvailable(0, 300, func() { order = append(order, "fn1") })
+	g.ReserveForWaiter(0, 300, waiterFunc(func() { order = append(order, "w") }))
+	g.ReserveWhenAvailable(0, 300, func() { order = append(order, "fn2") })
+	g.OnArrive(0, 1000)
+	g.OnDepart(0, 1000)
+	eng.Run()
+	if len(order) != 3 || order[0] != "fn1" || order[1] != "w" || order[2] != "fn2" {
+		t.Fatalf("grant order = %v, want [fn1 w fn2]", order)
+	}
+}
+
+// waiterFunc adapts a func to Waiter for tests.
+type waiterFunc func()
+
+func (f waiterFunc) CreditGranted() { f() }
+
+// The waiter path must grant immediately when credit is on hand, exactly
+// like the closure path.
+func TestGateWaiterImmediateGrant(t *testing.T) {
+	eng := sim.New()
+	g := newGate(eng, 1000)
+	w := &testWaiter{}
+	g.ReserveForWaiter(0, 400, w)
+	if len(w.grants) != 1 {
+		t.Fatal("waiter not granted immediately with credit available")
+	}
+	if g.Available(0) != 600 {
+		t.Fatalf("available = %d after immediate waiter grant, want 600", g.Available(0))
+	}
+}

@@ -62,6 +62,69 @@ type pendingOp struct {
 	onComplete CompletionFn
 }
 
+// pendingSlot is one slab entry for an in-flight operation. live guards
+// stale references; msgID is double-checked on retire so a forged or
+// duplicated OpRef cannot complete someone else's operation.
+type pendingSlot struct {
+	op    pendingOp
+	msgID uint64
+	live  bool
+}
+
+// allocSlot registers an in-flight operation and returns its OpRef.
+func (r *RNIC) allocSlot(msgID uint64, verb ib.Verb, payload units.ByteSize, cb CompletionFn) int32 {
+	var ref int32
+	if n := len(r.freeSlots); n > 0 {
+		ref = r.freeSlots[n-1]
+		r.freeSlots = r.freeSlots[:n-1]
+	} else {
+		r.pendingOps = append(r.pendingOps, pendingSlot{})
+		ref = int32(len(r.pendingOps) - 1)
+	}
+	s := &r.pendingOps[ref]
+	s.op = pendingOp{verb: verb, payload: payload, onComplete: cb}
+	s.msgID = msgID
+	s.live = true
+	r.pendingLive++
+	return ref
+}
+
+// takeSlot retires slot ref if it is live and matches msgID, returning the
+// operation. Stale, unknown or mismatched references report false — the
+// UD-style duplicate tolerance the map lookup used to provide.
+func (r *RNIC) takeSlot(ref int32, msgID uint64) (pendingOp, bool) {
+	if ref < 0 || int(ref) >= len(r.pendingOps) {
+		return pendingOp{}, false
+	}
+	s := &r.pendingOps[ref]
+	if !s.live || s.msgID != msgID {
+		return pendingOp{}, false
+	}
+	op := s.op
+	s.op = pendingOp{}
+	s.live = false
+	r.pendingLive--
+	r.freeSlots = append(r.freeSlots, ref)
+	return op, true
+}
+
+// getTx draws a zeroed txPacket from the free list; process releases it
+// once the packet is on the wire.
+func (r *RNIC) getTx() *txPacket {
+	if n := len(r.txFree); n > 0 {
+		tx := r.txFree[n-1]
+		r.txFree[n-1] = nil
+		r.txFree = r.txFree[:n-1]
+		return tx
+	}
+	return &txPacket{}
+}
+
+func (r *RNIC) putTx(tx *txPacket) {
+	*tx = txPacket{}
+	r.txFree = append(r.txFree, tx)
+}
+
 // RNIC is one RDMA NIC.
 type RNIC struct {
 	eng  *sim.Engine
@@ -79,10 +142,29 @@ type RNIC struct {
 	qps        map[int]*QP
 	nextQPNum  int
 	nextEngine int
-	pending    map[uint64]*pendingOp
 	nextMsgID  uint64
 
-	// OnDeliver and OnRecvMessage are optional observation hooks.
+	// In-flight operations live in a slab indexed by the OpRef the packets
+	// carry (and responders echo), not in a map: a map keyed by the
+	// monotonically increasing MsgID accumulates tombstones under steady
+	// insert/delete churn and rehashes periodically — a recurring
+	// allocation on the per-message path.
+	pendingOps  []pendingSlot
+	freeSlots   []int32
+	pendingLive int
+
+	// Hot-path free lists (see DESIGN.md "Hot-path memory discipline").
+	// Packets are drawn here and released by their terminal consumer —
+	// usually a *different* RNIC's pool, which is fine: a destination
+	// reuses the data packets it absorbs for the ACKs it generates, so
+	// per-RNIC pools balance without any shared state.
+	pkts       ib.PacketPool
+	txFree     []*txPacket
+	segScratch []units.ByteSize
+
+	// OnDeliver and OnRecvMessage are optional observation hooks. Hooks
+	// receive packets on loan: the pointer is released back to the packet
+	// pool when the hook returns and must not be retained.
 	OnDeliver     DeliverFn
 	OnRecvMessage RecvFn
 
@@ -94,13 +176,12 @@ type RNIC struct {
 // New builds an RNIC for the given node. jitter must be a dedicated stream.
 func New(eng *sim.Engine, node ib.NodeID, par model.NICParams, jitter *rng.Source) *RNIC {
 	r := &RNIC{
-		eng:     eng,
-		par:     par,
-		node:    node,
-		jit:     jitter,
-		sl2vl:   ib.DefaultSL2VL(),
-		qps:     make(map[int]*QP),
-		pending: make(map[uint64]*pendingOp),
+		eng:   eng,
+		par:   par,
+		node:  node,
+		jit:   jitter,
+		sl2vl: ib.DefaultSL2VL(),
+		qps:   make(map[int]*QP),
 	}
 	n := par.SendEngines
 	if n < 1 {
@@ -198,20 +279,27 @@ func (r *RNIC) PostSend(qp *QP, verb ib.Verb, payload units.ByteSize, onComplete
 		wire = r.loopWire
 	}
 
-	if verb == ib.VerbRead || ((verb == ib.VerbSend || verb == ib.VerbWrite) && qp.Transport == ib.RC && !qp.Loopback) {
-		r.pending[msgID] = &pendingOp{verb: verb, payload: payload, onComplete: onComplete}
+	// One pending slot per operation that completes on a response: RC
+	// SEND/WRITE (ACK), READ (response), and every loopback post (loopback
+	// delivery). Non-loopback UD completes at injection and needs none.
+	ref := int32(-1)
+	if verb == ib.VerbRead || qp.Loopback ||
+		((verb == ib.VerbSend || verb == ib.VerbWrite) && qp.Transport == ib.RC) {
+		ref = r.allocSlot(msgID, verb, payload, onComplete)
 	}
 
-	segs := ib.Segment(payload, r.par.MTU)
+	segs := ib.SegmentAppend(r.segScratch[:0], payload, r.par.MTU)
 	if verb == ib.VerbRead {
-		segs = []units.ByteSize{payload} // single request packet, no payload on the wire
+		segs = append(segs[:0], payload) // single request packet, no payload on the wire
 	}
+	r.segScratch = segs[:0]
 	for i, seg := range segs {
 		kind := ib.KindData
 		if verb == ib.VerbRead {
 			kind = ib.KindReadRequest
 		}
-		pkt := &ib.Packet{
+		pkt := r.pkts.Get()
+		*pkt = ib.Packet{
 			Kind:      kind,
 			Verb:      verb,
 			Transport: qp.Transport,
@@ -223,29 +311,21 @@ func (r *RNIC) PostSend(qp *QP, verb ib.Verb, payload units.ByteSize, onComplete
 			LastInMsg: i == len(segs)-1,
 			Payload:   seg,
 			SL:        qp.SL,
+			OpRef:     ref,
 		}
 		if verb == ib.VerbRead {
 			pkt.Payload = 0
 			pkt.CreditBytes = payload // requested length rides in the header
 		}
-		tx := &txPacket{
-			pkt:       pkt,
-			readyAt:   ready,
-			wire:      wire,
-			occupancy: r.par.EngineOccupancy(pkt.WireSize(), qp.msgCost(r)),
-		}
-		if pkt.LastInMsg {
-			switch {
-			case qp.Loopback:
-				// Completion handled at loopback delivery.
-				r.pending[msgID] = &pendingOp{verb: verb, payload: payload, onComplete: onComplete}
-			case qp.Transport == ib.UD:
-				// Fig. 1c: CQE as soon as the request is on the wire.
-				cb := onComplete
-				tx.onInjectEnd = func(injEnd units.Time) {
-					r.completeAt(injEnd.Add(r.par.CQEDeliver), cb)
-				}
-			}
+		tx := r.getTx()
+		tx.pkt = pkt
+		tx.readyAt = ready
+		tx.wire = wire
+		tx.occupancy = r.par.EngineOccupancy(pkt.WireSize(), qp.msgCost(r))
+		if pkt.LastInMsg && qp.Transport == ib.UD && !qp.Loopback {
+			// Fig. 1c: CQE as soon as the request is on the wire. The
+			// callback rides in the txPacket instead of a closure.
+			tx.udComplete = onComplete
 		}
 		qp.engine.enqueue(tx)
 	}
@@ -260,18 +340,36 @@ func (q *QP) msgCost(r *RNIC) units.Duration {
 	return r.par.MessageCost
 }
 
+// cqeHandler dispatches a scheduled completion: Ptr holds the
+// CompletionFn, T0 the CQE-visibility timestamp. One package-level instance
+// serves every RNIC — the event carries all the state.
+type cqeHandler struct{}
+
+var cqeDispatch cqeHandler
+
+func (*cqeHandler) HandleEvent(ev *sim.Event) {
+	ev.Ptr.(CompletionFn)(ev.T0)
+}
+
 func (r *RNIC) completeAt(at units.Time, cb CompletionFn) {
 	if cb == nil {
 		return
 	}
-	r.eng.At(at, "rnic:cqe", func() { cb(at) })
+	// Typed event: a CQE fires per message, and the closure it would
+	// otherwise capture (cb, at) fits the event's inline payload.
+	ev := r.eng.AtEvent(at, "rnic:cqe", &cqeDispatch)
+	ev.Ptr, ev.T0 = cb, at
 }
 
 // vlOf maps a packet to the VL used for downstream credit accounting.
 func (r *RNIC) vlOf(pkt *ib.Packet) ib.VL { return r.sl2vl.Map(pkt.SL) }
 
-// DeliverArrival implements link.Endpoint for the fabric-facing port.
+// DeliverArrival implements link.Endpoint for the fabric-facing port. The
+// RNIC is the terminal consumer of every packet it absorbs: once the
+// per-kind handler (and every observer hook it invokes) returns, the packet
+// goes back to this RNIC's pool.
 func (r *RNIC) DeliverArrival(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
+	ib.AssertLive(pkt)
 	switch pkt.Kind {
 	case ib.KindData:
 		r.recvData(pkt, arriveEnd)
@@ -305,7 +403,8 @@ func (r *RNIC) recvData(pkt *ib.Packet, wireEnd units.Time) {
 		if r.par.JitterMean > 0 {
 			ackReady = ackReady.Add(units.Duration(r.jit.Exp(float64(r.par.JitterMean))))
 		}
-		ack := &ib.Packet{
+		ack := r.pkts.Get()
+		*ack = ib.Packet{
 			Kind:      ib.KindAck,
 			Verb:      pkt.Verb,
 			Transport: ib.RC,
@@ -315,13 +414,14 @@ func (r *RNIC) recvData(pkt *ib.Packet, wireEnd units.Time) {
 			MsgID:     pkt.MsgID,
 			LastInMsg: true,
 			SL:        pkt.SL,
+			OpRef:     pkt.OpRef, // echo: lets the requester retire by slab index
 		}
-		r.ctrl.enqueue(&txPacket{
-			pkt:       ack,
-			readyAt:   ackReady,
-			wire:      r.wire,
-			occupancy: r.par.EngineOccupancy(ack.WireSize(), r.par.AckTurnaround),
-		})
+		tx := r.getTx()
+		tx.pkt = ack
+		tx.readyAt = ackReady
+		tx.wire = r.wire
+		tx.occupancy = r.par.EngineOccupancy(ack.WireSize(), r.par.AckTurnaround)
+		r.ctrl.enqueue(tx)
 	}
 	if pkt.LastInMsg && r.OnRecvMessage != nil {
 		var visible units.Time
@@ -339,43 +439,48 @@ func (r *RNIC) recvData(pkt *ib.Packet, wireEnd units.Time) {
 		}
 		r.OnRecvMessage(pkt, wireEnd, visible)
 	}
+	r.pkts.Put(pkt) // terminal consumer: every hook above has run
 }
 
 func (r *RNIC) recvAck(pkt *ib.Packet, wireEnd units.Time) {
-	op, ok := r.pending[pkt.MsgID]
-	if !ok {
-		return // duplicate/unknown: UD-style tolerance
+	if op, ok := r.takeSlot(pkt.OpRef, pkt.MsgID); ok {
+		r.completeAt(wireEnd.Add(r.par.AckRxProc+r.par.CQEDeliver), op.onComplete)
 	}
-	delete(r.pending, pkt.MsgID)
-	r.completeAt(wireEnd.Add(r.par.AckRxProc+r.par.CQEDeliver), op.onComplete)
+	// else: duplicate/unknown, UD-style tolerance
+	r.pkts.Put(pkt)
 }
 
 // serveRead handles an incoming READ request: DMA read from host memory,
 // then the responder engine streams the payload back (Fig. 1a).
 func (r *RNIC) serveRead(pkt *ib.Packet, wireEnd units.Time) {
 	length := pkt.CreditBytes
+	srcNode, qpNum, msgID, sl, ref := pkt.SrcNode, pkt.QP, pkt.MsgID, pkt.SL, pkt.OpRef
+	r.pkts.Put(pkt) // the request is consumed here; responses are new packets
 	ready := wireEnd.Add(r.par.DMARead(length))
-	segs := ib.Segment(length, r.par.MTU)
+	segs := ib.SegmentAppend(r.segScratch[:0], length, r.par.MTU)
+	r.segScratch = segs[:0]
 	for i, seg := range segs {
-		rsp := &ib.Packet{
+		rsp := r.pkts.Get()
+		*rsp = ib.Packet{
 			Kind:      ib.KindReadResponse,
 			Verb:      ib.VerbRead,
 			Transport: ib.RC,
 			SrcNode:   r.node,
-			DestNode:  pkt.SrcNode,
-			QP:        pkt.QP,
-			MsgID:     pkt.MsgID,
+			DestNode:  srcNode,
+			QP:        qpNum,
+			MsgID:     msgID,
 			SeqInMsg:  i,
 			LastInMsg: i == len(segs)-1,
 			Payload:   seg,
-			SL:        pkt.SL,
+			SL:        sl,
+			OpRef:     ref,
 		}
-		r.ctrl.enqueue(&txPacket{
-			pkt:       rsp,
-			readyAt:   ready,
-			wire:      r.wire,
-			occupancy: r.par.EngineOccupancy(rsp.WireSize(), r.par.MessageCost),
-		})
+		tx := r.getTx()
+		tx.pkt = rsp
+		tx.readyAt = ready
+		tx.wire = r.wire
+		tx.occupancy = r.par.EngineOccupancy(rsp.WireSize(), r.par.MessageCost)
+		r.ctrl.enqueue(tx)
 	}
 }
 
@@ -383,16 +488,13 @@ func (r *RNIC) recvReadResponse(pkt *ib.Packet, wireEnd units.Time) {
 	if r.OnDeliver != nil {
 		r.OnDeliver(pkt, wireEnd)
 	}
-	if !pkt.LastInMsg {
-		return
+	if pkt.LastInMsg {
+		if op, ok := r.takeSlot(pkt.OpRef, pkt.MsgID); ok {
+			// Fig. 1a: local DMA write of the fetched data precedes the CQE.
+			r.completeAt(wireEnd.Add(r.par.DMAWrite(pkt.Payload)+r.par.CQEDeliver), op.onComplete)
+		}
 	}
-	op, ok := r.pending[pkt.MsgID]
-	if !ok {
-		return
-	}
-	delete(r.pending, pkt.MsgID)
-	// Fig. 1a: local DMA write of the fetched data precedes the CQE.
-	r.completeAt(wireEnd.Add(r.par.DMAWrite(pkt.Payload)+r.par.CQEDeliver), op.onComplete)
+	r.pkts.Put(pkt)
 }
 
 // loopEndpoint receives loopback traffic.
@@ -400,21 +502,19 @@ type loopEndpoint struct{ r *RNIC }
 
 func (le loopEndpoint) DeliverArrival(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
 	r := le.r
-	if !pkt.LastInMsg {
-		return
+	ib.AssertLive(pkt)
+	if pkt.LastInMsg {
+		if op, ok := r.takeSlot(pkt.OpRef, pkt.MsgID); ok {
+			// The loopback request is "finished" when the local RNIC has
+			// fully processed it (paper §IV); its CQE timing captures
+			// exactly the local-side overhead RPerf subtracts.
+			r.completeAt(arriveEnd.Add(r.par.CQEDeliver), op.onComplete)
+			if r.OnRecvMessage != nil {
+				r.OnRecvMessage(pkt, arriveEnd, arriveEnd.Add(r.par.CQEDeliver))
+			}
+		}
 	}
-	op, ok := r.pending[pkt.MsgID]
-	if !ok {
-		return
-	}
-	delete(r.pending, pkt.MsgID)
-	// The loopback request is "finished" when the local RNIC has fully
-	// processed it (paper §IV); its CQE timing captures exactly the
-	// local-side overhead RPerf subtracts.
-	r.completeAt(arriveEnd.Add(r.par.CQEDeliver), op.onComplete)
-	if r.OnRecvMessage != nil {
-		r.OnRecvMessage(pkt, arriveEnd, arriveEnd.Add(r.par.CQEDeliver))
-	}
+	r.pkts.Put(pkt)
 }
 
 // engine is one send processing unit: a FIFO of packets injected onto a
@@ -426,6 +526,7 @@ type engine struct {
 	busyUntil units.Time
 	scheduled *sim.Event // the single pending wake, if any
 	waiting   bool       // blocked on downstream credits
+	waitTx    *txPacket  // the entry the blocked reservation belongs to
 	// reorder makes the engine serve the earliest-ready packet instead of
 	// strict FIFO. The responder (ctrl) engine uses it: a SEND's ACK is
 	// ready immediately on receipt, and must not stall behind an earlier
@@ -435,12 +536,15 @@ type engine struct {
 }
 
 type txPacket struct {
-	pkt         *ib.Packet
-	readyAt     units.Time
-	occupancy   units.Duration
-	wire        *link.Wire
-	reserved    bool
-	onInjectEnd func(injEnd units.Time)
+	pkt       *ib.Packet
+	readyAt   units.Time
+	occupancy units.Duration
+	wire      *link.Wire
+	reserved  bool
+	// udComplete, when set, delivers the UD completion (Fig. 1c: CQE as
+	// soon as the request is on the wire) — stored inline rather than as a
+	// captured closure.
+	udComplete CompletionFn
 }
 
 func newEngine(r *RNIC, name string) *engine {
@@ -465,10 +569,23 @@ func (e *engine) wake(at units.Time) {
 		e.r.eng.Reschedule(e.scheduled, at)
 		return
 	}
-	e.scheduled = e.r.eng.At(at, e.label, func() {
-		e.scheduled = nil
-		e.process()
-	})
+	e.scheduled = e.r.eng.AtEvent(at, e.label, e)
+}
+
+// HandleEvent runs the pending engine evaluation (typed form of the old
+// wake closure).
+func (e *engine) HandleEvent(*sim.Event) {
+	e.scheduled = nil
+	e.process()
+}
+
+// CreditGranted implements link.Waiter: the reservation the engine blocked
+// on has been made on its behalf.
+func (e *engine) CreditGranted() {
+	e.waitTx.reserved = true
+	e.waitTx = nil
+	e.waiting = false
+	e.wake(e.r.eng.Now())
 }
 
 // pickIndex selects the queue entry to serve: FIFO for data engines,
@@ -510,22 +627,26 @@ func (e *engine) process() {
 	vl := e.r.vlOf(head.pkt)
 	if !head.reserved {
 		if !head.wire.Gate().TryReserve(vl, head.pkt.WireSize()) {
+			// Block on credits without capturing a closure: the engine is
+			// the waiter; CreditGranted resumes it.
 			e.waiting = true
-			head.wire.Gate().ReserveWhenAvailable(vl, head.pkt.WireSize(), func() {
-				head.reserved = true
-				e.waiting = false
-				e.wake(e.r.eng.Now())
-			})
+			e.waitTx = head
+			head.wire.Gate().ReserveForWaiter(vl, head.pkt.WireSize(), e)
 			return
 		}
 	}
 	head.pkt.VL = vl
 	injEnd := head.wire.Send(head.pkt)
 	e.busyUntil = now.Add(head.occupancy)
-	e.queue = append(e.queue[:idx], e.queue[idx+1:]...)
-	if head.onInjectEnd != nil {
-		head.onInjectEnd(injEnd)
+	copy(e.queue[idx:], e.queue[idx+1:])
+	last := len(e.queue) - 1
+	e.queue[last] = nil // clear the vacated slot: the txPacket is recycled
+	e.queue = e.queue[:last]
+	if head.udComplete != nil {
+		// Fig. 1c: UD CQE once the request is on the wire.
+		e.r.completeAt(injEnd.Add(e.r.par.CQEDeliver), head.udComplete)
 	}
+	e.r.putTx(head)
 	if len(e.queue) > 0 {
 		next := e.busyUntil
 		if now > next {
@@ -542,4 +663,4 @@ func (e *engine) QueueLen() int { return len(e.queue) }
 func (r *RNIC) EngineBacklog(i int) int { return r.engines[i].QueueLen() }
 
 // PendingOps reports outstanding un-acked operations (tests).
-func (r *RNIC) PendingOps() int { return len(r.pending) }
+func (r *RNIC) PendingOps() int { return r.pendingLive }

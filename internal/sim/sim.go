@@ -23,6 +23,18 @@
 // reused it. The idiomatic holder pattern clears its reference as the first
 // statement of the event body (see the wake methods in packages ibswitch
 // and rnic).
+//
+// # Typed events
+//
+// Closures are convenient but each one is a heap allocation, and the
+// per-packet paths (link delivery, credit returns, NIC completions, switch
+// arbiter wake-ups) schedule millions of them. AtEvent/AfterEvent schedule
+// against a Handler interface instead: the Event itself carries a small
+// inline payload (a pointer, two timestamps, two integers) that the handler
+// decodes in HandleEvent. Because the handler is a long-lived object and the
+// payload lives inside the pooled Event, a typed schedule performs zero
+// allocations in steady state. See DESIGN.md "Hot-path memory discipline"
+// for the payload ownership contract.
 package sim
 
 import (
@@ -31,13 +43,31 @@ import (
 	"repro/internal/units"
 )
 
-// Event is a scheduled action.
+// Handler consumes typed events scheduled with AtEvent/AfterEvent. The
+// payload fields of ev are valid only for the duration of the call: the
+// engine recycles the event (clearing Ptr) as soon as HandleEvent returns,
+// so implementations must copy out anything they need to retain.
+type Handler interface {
+	HandleEvent(ev *Event)
+}
+
+// Event is a scheduled action: either a closure (At/After) or a Handler
+// dispatch with an inline payload (AtEvent/AfterEvent).
 type Event struct {
 	at    units.Time
 	seq   uint64 // tie-break: FIFO among equal timestamps
 	fn    func()
+	h     Handler
 	index int // heap index; -1 once popped or canceled
 	label string
+
+	// Typed payload, interpreted by the Handler. Callers of
+	// AtEvent/AfterEvent fill these on the returned event; their meaning is
+	// private to the scheduling site. Ptr is cleared on recycle so a pooled
+	// event never pins a packet.
+	Ptr    any
+	T0, T1 units.Time
+	A, B   int64
 }
 
 // Time reports when the event fires.
@@ -88,7 +118,9 @@ func (e *Engine) alloc() *Event {
 // release returns a fired or canceled Event to the free list.
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
+	ev.h = nil
 	ev.label = ""
+	ev.Ptr = nil
 	e.free = append(e.free, ev)
 }
 
@@ -114,6 +146,36 @@ func (e *Engine) After(d units.Duration, label string, fn func()) *Event {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
 	}
 	return e.At(e.now.Add(d), label, fn)
+}
+
+// AtEvent schedules h.HandleEvent to run at absolute time at, without
+// capturing a closure. The returned event's payload fields (Ptr, T0, T1, A,
+// B) are zeroed; the caller fills them before the engine next runs. Payload
+// assignment cannot reorder the event — ordering is by (time, seq) only.
+func (e *Engine) AtEvent(at units.Time, label string, h Handler) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", label, at, e.now))
+	}
+	if h == nil {
+		panic(fmt.Sprintf("sim: nil handler for %q", label))
+	}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.h = h
+	ev.label = label
+	ev.T0, ev.T1, ev.A, ev.B = 0, 0, 0, 0
+	e.seq++
+	e.queue.push(ev)
+	return ev
+}
+
+// AfterEvent schedules h.HandleEvent to run d after the current time.
+func (e *Engine) AfterEvent(d units.Duration, label string, h Handler) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
+	}
+	return e.AtEvent(e.now.Add(d), label, h)
 }
 
 // Cancel removes a scheduled event. Canceling an already-fired or
@@ -163,11 +225,14 @@ func (e *Engine) Step() bool {
 	if e.Trace != nil {
 		e.Trace(ev.at, ev.label)
 	}
-	fn := ev.fn
 	e.ran++
-	fn()
-	// Recycled only after fn returns, so a handler canceling or inspecting
-	// the event that invoked it observes a stable (fired) state.
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.HandleEvent(ev)
+	}
+	// Recycled only after the body returns, so a handler canceling or
+	// inspecting the event that invoked it observes a stable (fired) state.
 	e.release(ev)
 	return true
 }

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"repro/internal/units"
 )
@@ -29,11 +29,17 @@ type Histogram struct {
 	sum    float64
 	min    int64
 	max    int64
+	// minExp/maxExp bound the populated exponent rows, so quantile scans
+	// visit only the live slice of the 58x64 bucket matrix. Meaningful only
+	// when total > 0.
+	minExp int
+	maxExp int
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram. (The zero value is equivalent;
+// the constructor exists for symmetry with the other stats types.)
 func NewHistogram() *Histogram {
-	return &Histogram{min: math.MaxInt64}
+	return &Histogram{}
 }
 
 func bucketOf(v int64) (int, int) {
@@ -62,23 +68,29 @@ func bucketMid(exp, sub int) int64 {
 
 // Record adds one observation. Negative values clamp to zero.
 func (h *Histogram) Record(v int64) {
-	if h.total == 0 && h.min == 0 && h.max == 0 {
-		// Zero-value histogram: initialize min sentinel lazily.
-		h.min = math.MaxInt64
-	}
 	if v < 0 {
 		v = 0
 	}
 	exp, sub := bucketOf(v)
 	h.counts[exp][sub]++
+	if h.total == 0 {
+		// First observation initializes the extrema directly — no MaxInt64
+		// sentinel, so the former three-comparison lazy-init check is gone
+		// from the per-observation path.
+		h.min, h.max = v, v
+		h.minExp, h.maxExp = exp, exp
+	} else {
+		if v < h.min {
+			h.min = v
+			h.minExp = exp
+		}
+		if v > h.max {
+			h.max = v
+			h.maxExp = exp
+		}
+	}
 	h.total++
 	h.sum += float64(v)
-	if v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
 }
 
 // RecordDuration adds a duration observation in picoseconds.
@@ -123,7 +135,9 @@ func (h *Histogram) Quantile(q float64) int64 {
 		rank = 1
 	}
 	var seen uint64
-	for exp := range h.counts {
+	// Only [minExp, maxExp] can hold counts; the other ~50 exponent rows
+	// of the bucket matrix are provably empty and skipped.
+	for exp := h.minExp; exp <= h.maxExp; exp++ {
 		for sub, c := range h.counts[exp] {
 			if c == 0 {
 				continue
@@ -166,27 +180,35 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.total == 0 {
 		return
 	}
-	if h.total == 0 {
-		h.min = math.MaxInt64
-	}
-	for exp := range other.counts {
+	for exp := other.minExp; exp <= other.maxExp; exp++ {
 		for sub, c := range other.counts[exp] {
 			h.counts[exp][sub] += c
 		}
 	}
+	if h.total == 0 {
+		h.min, h.max = other.min, other.max
+		h.minExp, h.maxExp = other.minExp, other.maxExp
+	} else {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+		if other.minExp < h.minExp {
+			h.minExp = other.minExp
+		}
+		if other.maxExp > h.maxExp {
+			h.maxExp = other.maxExp
+		}
+	}
 	h.total += other.total
 	h.sum += other.sum
-	if other.min < h.min {
-		h.min = other.min
-	}
-	if other.max > h.max {
-		h.max = other.max
-	}
 }
 
 // Reset discards all observations.
 func (h *Histogram) Reset() {
-	*h = Histogram{min: math.MaxInt64}
+	*h = Histogram{}
 }
 
 // Summary is a compact description of a latency distribution, in the units
@@ -226,7 +248,7 @@ func ExactQuantile(samples []int64, q float64) int64 {
 	}
 	s := make([]int64, len(samples))
 	copy(s, samples)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	if q <= 0 {
 		return s[0]
 	}

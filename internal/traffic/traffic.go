@@ -48,6 +48,7 @@ type BSG struct {
 	src     *rnic.RNIC
 	qp      *rnic.QP
 	meter   *stats.BandwidthMeter
+	onDone  rnic.CompletionFn // created once; posting per-message closures would allocate per message
 	stopped bool
 }
 
@@ -77,6 +78,7 @@ func NewBSG(src, dst *rnic.RNIC, cfg BSGConfig) (*BSG, error) {
 		qp:    src.CreateQP(ib.RC, dst.Node(), cfg.SL, opts...),
 		meter: stats.NewBandwidthMeter(),
 	}
+	b.onDone = func(units.Time) { b.post() }
 	addDeliverObserver(dst, func(pkt *ib.Packet, wireEnd units.Time) {
 		if pkt.SrcNode == src.Node() && pkt.Kind == ib.KindData && pkt.SL == cfg.SL {
 			b.meter.Record(wireEnd, pkt.Payload)
@@ -97,7 +99,7 @@ func (b *BSG) post() {
 	if b.stopped {
 		return
 	}
-	b.src.PostSend(b.qp, b.verb, b.cfg.Payload, func(units.Time) { b.post() })
+	b.src.PostSend(b.qp, b.verb, b.cfg.Payload, b.onDone)
 }
 
 // Stop ceases posting; in-flight messages drain naturally.
