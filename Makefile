@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json test-alloc test-debugpackets golden smoke-examples ci
+.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-debugpackets golden smoke-examples ci
 
 all: vet build test
 
@@ -24,8 +24,8 @@ cover:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
-# bench-queue compares the indexed 4-ary event queue against the seed's
-# container/heap baseline (see internal/sim/queue_bench_test.go).
+# bench-queue compares the timing-wheel calendar against the 4-ary-heap
+# and seed container/heap baselines (see internal/sim/queue_bench_test.go).
 bench-queue:
 	$(GO) test -run XXX -bench 'BenchmarkQueue' -benchtime 2s ./internal/sim/
 
@@ -35,14 +35,27 @@ bench-sweep:
 	$(GO) test -run XXX -bench 'BenchmarkSweep' -benchtime 5x .
 
 # bench-json runs the benchmark suite with -benchmem and writes a
-# BENCH_<unix-time>.json trajectory snapshot (see cmd/benchjson), so perf
-# numbers can be committed and diffed across PRs. Staged through a temp
-# file (not a pipe) so a failing benchmark fails the target instead of
-# silently producing a partial snapshot.
+# bench/BENCH_<unix-time>.json trajectory snapshot (see cmd/benchjson), so
+# perf numbers can be committed and diffed across PRs. Staged through a
+# temp file (not a pipe) so a failing benchmark fails the target instead
+# of silently producing a partial snapshot.
 bench-json:
-	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-		$(GO) test -run XXX -bench . -benchmem -benchtime 1x ./... > "$$tmp"; \
-		$(GO) run ./cmd/benchjson -out BENCH_$$(date +%s).json < "$$tmp"
+	@set -e; mkdir -p bench; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+		$(GO) test -run XXX -bench . -benchmem -benchtime 1s -timeout 30m ./... > "$$tmp"; \
+		$(GO) run ./cmd/benchjson -out bench/BENCH_$$(date +%s).json < "$$tmp"
+
+# bench-compare regenerates a fresh snapshot in a temp file and diffs it
+# against the newest committed bench/BENCH_*.json. Informational by
+# default — a single-CPU CI runner is too noisy to gate merges on ns/op —
+# but MAX_REGRESS=<pct> turns it into a hard gate (nonzero exit when any
+# benchmark's ns/op regresses more than that).
+bench-compare:
+	@set -e; tmp=$$(mktemp); out=$$(mktemp); trap 'rm -f "$$tmp" "$$out"' EXIT; \
+		base=$$(ls bench/BENCH_*.json | sort | tail -1); \
+		echo "bench-compare: baseline $$base"; \
+		$(GO) test -run XXX -bench . -benchmem -benchtime 1s -timeout 30m ./... > "$$tmp"; \
+		$(GO) run ./cmd/benchjson -out "$$out" < "$$tmp"; \
+		$(GO) run ./cmd/benchjson compare $(if $(MAX_REGRESS),-max-regress $(MAX_REGRESS)) "$$base" "$$out"
 
 # test-alloc runs the allocation-regression tests: the steady-state hot
 # path (forwarding, converged traffic, incast) must stay at 0 allocs/packet.

@@ -1,15 +1,24 @@
 // Command benchjson converts `go test -bench` output into a structured JSON
 // snapshot, so benchmark trajectories can be committed, diffed and plotted
-// across PRs (`make bench-json` writes BENCH_<unix>.json at the repo root).
+// across PRs (`make bench-json` writes bench/BENCH_<unix>.json), and
+// compares two snapshots.
 //
 // Usage:
 //
 //	go test -run XXX -bench . -benchmem ./... | benchjson [-out BENCH.json]
+//	benchjson compare [-metric ns/op] [-max-regress pct] old.json new.json
 //
-// It understands the standard benchmark line shape — iteration count,
-// ns/op, the -benchmem pair (B/op, allocs/op) and any custom
+// Convert mode understands the standard benchmark line shape — iteration
+// count, ns/op, the -benchmem pair (B/op, allocs/op) and any custom
 // b.ReportMetric columns (e.g. events/op, lsg_p50_us) — plus the goos /
 // goarch / pkg / cpu header lines, which are recorded once per file.
+//
+// Compare mode prints a per-benchmark delta table for the chosen metric
+// (plus allocs/op drift, the zero-allocation contract's canary) and, when
+// -max-regress is set, exits nonzero if any benchmark's metric regressed
+// by more than that percentage. `make bench-compare` wires it as an
+// informational CI step: single-CPU runners are too noisy to gate merges
+// on ns/op, so CI reports the table without a threshold.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -43,6 +53,10 @@ type Snapshot struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		runCompare(os.Args[2:])
+		return
+	}
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -122,4 +136,139 @@ func parseBenchLine(line string) (Result, bool) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+// delta is one row of the comparison table.
+type delta struct {
+	Name     string
+	Old, New float64 // the compared metric
+	Pct      float64 // (New-Old)/Old * 100; 0 when Old == 0
+	AllocsUp bool    // allocs/op grew from the old snapshot
+	OnlyOld  bool    // benchmark disappeared
+	OnlyNew  bool    // benchmark is new
+}
+
+// benchKey identifies a benchmark across snapshots. The package qualifier
+// matters: Go happily hosts same-named benchmarks in different packages,
+// and pairing them by bare name would diff unrelated numbers.
+func benchKey(r Result) string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "/" + r.Name
+}
+
+// displayName is the table label: package-qualified only when needed.
+func displayName(r Result) string { return benchKey(r) }
+
+// compareSnapshots builds the per-benchmark delta table for metric.
+// Benchmarks present in only one snapshot are reported but never counted
+// as regressions.
+func compareSnapshots(old, new Snapshot, metric string) []delta {
+	oldBy := map[string]Result{}
+	for _, r := range old.Results {
+		oldBy[benchKey(r)] = r
+	}
+	var rows []delta
+	seen := map[string]bool{}
+	for _, nr := range new.Results {
+		seen[benchKey(nr)] = true
+		or, ok := oldBy[benchKey(nr)]
+		if !ok {
+			rows = append(rows, delta{Name: displayName(nr), New: nr.Metrics[metric], OnlyNew: true})
+			continue
+		}
+		d := delta{
+			Name: displayName(nr),
+			Old:  or.Metrics[metric],
+			New:  nr.Metrics[metric],
+		}
+		if d.Old != 0 {
+			d.Pct = (d.New - d.Old) / d.Old * 100
+		}
+		if na, oa := nr.Metrics["allocs/op"], or.Metrics["allocs/op"]; na > oa {
+			d.AllocsUp = true
+		}
+		rows = append(rows, d)
+	}
+	for _, r := range old.Results {
+		if !seen[benchKey(r)] {
+			rows = append(rows, delta{Name: displayName(r), Old: r.Metrics[metric], OnlyOld: true})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// worstRegression returns the largest positive percentage change among
+// benchmarks present in both snapshots (for ns/op-like metrics, larger is
+// worse).
+func worstRegression(rows []delta) (string, float64) {
+	name, worst := "", 0.0
+	for _, d := range rows {
+		if d.OnlyOld || d.OnlyNew {
+			continue
+		}
+		if d.Pct > worst {
+			name, worst = d.Name, d.Pct
+		}
+	}
+	return name, worst
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	metric := fs.String("metric", "ns/op", "metric to compare")
+	maxRegress := fs.Float64("max-regress", -1,
+		"fail (exit 1) if any benchmark's metric regresses by more than this percentage; negative = report only")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("usage: benchjson compare [-metric ns/op] [-max-regress pct] old.json new.json"))
+	}
+	oldSnap, err := loadSnapshot(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newSnap, err := loadSnapshot(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	rows := compareSnapshots(oldSnap, newSnap, *metric)
+	w := 0
+	for _, d := range rows {
+		if len(d.Name) > w {
+			w = len(d.Name)
+		}
+	}
+	fmt.Printf("%-*s  %14s  %14s  %8s\n", w, "benchmark", "old "+*metric, "new "+*metric, "delta")
+	for _, d := range rows {
+		switch {
+		case d.OnlyOld:
+			fmt.Printf("%-*s  %14.4g  %14s  %8s\n", w, d.Name, d.Old, "-", "removed")
+		case d.OnlyNew:
+			fmt.Printf("%-*s  %14s  %14.4g  %8s\n", w, d.Name, "-", d.New, "added")
+		default:
+			note := ""
+			if d.AllocsUp {
+				note = "  [allocs/op regressed]"
+			}
+			fmt.Printf("%-*s  %14.4g  %14.4g  %+7.1f%%%s\n", w, d.Name, d.Old, d.New, d.Pct, note)
+		}
+	}
+	if name, worst := worstRegression(rows); *maxRegress >= 0 && worst > *maxRegress {
+		fmt.Fprintf(os.Stderr, "benchjson: %s regressed %.1f%% (> %.1f%% allowed)\n", name, worst, *maxRegress)
+		os.Exit(1)
+	}
 }

@@ -49,3 +49,92 @@ func TestParseBenchLineKeepsNonNumericSuffix(t *testing.T) {
 		t.Fatalf("name = %q", r.Name)
 	}
 }
+
+func snapFor(t map[string]map[string]float64) Snapshot {
+	var s Snapshot
+	for name, metrics := range t {
+		s.Results = append(s.Results, Result{Name: name, Runs: 1, Metrics: metrics})
+	}
+	return s
+}
+
+func TestCompareSnapshotsDeltas(t *testing.T) {
+	old := snapFor(map[string]map[string]float64{
+		"BenchmarkA":    {"ns/op": 100, "allocs/op": 0},
+		"BenchmarkB":    {"ns/op": 200, "allocs/op": 0},
+		"BenchmarkGone": {"ns/op": 50},
+	})
+	new := snapFor(map[string]map[string]float64{
+		"BenchmarkA":   {"ns/op": 80, "allocs/op": 0},  // improved 20%
+		"BenchmarkB":   {"ns/op": 260, "allocs/op": 3}, // regressed 30%, allocs up
+		"BenchmarkNew": {"ns/op": 10},
+	})
+	rows := compareSnapshots(old, new, "ns/op")
+	byName := map[string]delta{}
+	for _, d := range rows {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkA"]; d.Pct != -20 || d.AllocsUp {
+		t.Fatalf("A = %+v", d)
+	}
+	if d := byName["BenchmarkB"]; d.Pct != 30 || !d.AllocsUp {
+		t.Fatalf("B = %+v", d)
+	}
+	if d := byName["BenchmarkGone"]; !d.OnlyOld {
+		t.Fatalf("Gone = %+v", d)
+	}
+	if d := byName["BenchmarkNew"]; !d.OnlyNew {
+		t.Fatalf("New = %+v", d)
+	}
+	if name, worst := worstRegression(rows); name != "BenchmarkB" || worst != 30 {
+		t.Fatalf("worst = %s %.1f", name, worst)
+	}
+}
+
+func TestWorstRegressionIgnoresAddedRemoved(t *testing.T) {
+	old := snapFor(map[string]map[string]float64{
+		"BenchmarkOnlyOld": {"ns/op": 1},
+		"BenchmarkSame":    {"ns/op": 100},
+	})
+	new := snapFor(map[string]map[string]float64{
+		"BenchmarkOnlyNew": {"ns/op": 9999},
+		"BenchmarkSame":    {"ns/op": 100},
+	})
+	if name, worst := worstRegression(compareSnapshots(old, new, "ns/op")); worst != 0 {
+		t.Fatalf("phantom regression %s %.1f", name, worst)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	old := snapFor(map[string]map[string]float64{"BenchmarkZ": {"ns/op": 0}})
+	new := snapFor(map[string]map[string]float64{"BenchmarkZ": {"ns/op": 5}})
+	rows := compareSnapshots(old, new, "ns/op")
+	if rows[0].Pct != 0 {
+		t.Fatalf("zero baseline must not divide: %+v", rows[0])
+	}
+}
+
+func TestCompareKeysByPackage(t *testing.T) {
+	old := Snapshot{Results: []Result{
+		{Name: "BenchmarkFoo", Pkg: "repro", Runs: 1, Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkFoo", Pkg: "repro/internal/sim", Runs: 1, Metrics: map[string]float64{"ns/op": 1000}},
+	}}
+	new := Snapshot{Results: []Result{
+		{Name: "BenchmarkFoo", Pkg: "repro", Runs: 1, Metrics: map[string]float64{"ns/op": 110}},
+		{Name: "BenchmarkFoo", Pkg: "repro/internal/sim", Runs: 1, Metrics: map[string]float64{"ns/op": 900}},
+	}}
+	rows := compareSnapshots(old, new, "ns/op")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	byName := map[string]delta{}
+	for _, d := range rows {
+		byName[d.Name] = d
+	}
+	if d := byName["repro/BenchmarkFoo"]; d.Old != 100 || d.New != 110 {
+		t.Fatalf("root pairing wrong: %+v", d)
+	}
+	if d := byName["repro/internal/sim/BenchmarkFoo"]; d.Old != 1000 || d.New != 900 {
+		t.Fatalf("sim pairing wrong: %+v", d)
+	}
+}

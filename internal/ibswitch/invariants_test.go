@@ -86,7 +86,7 @@ func mkCandidate(inPort int, vl ib.VL, arrival units.Time, size units.ByteSize) 
 	return candidate{
 		inPort: inPort,
 		vl:     vl,
-		qp: queuedPacket{
+		qp: &queuedPacket{
 			pkt:     &ib.Packet{Kind: ib.KindData, DestNode: 0, SL: ib.SL(vl)},
 			arrival: arrival,
 			size:    size,

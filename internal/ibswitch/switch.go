@@ -76,7 +76,9 @@ type queuedPacket struct {
 // slices popped with q[1:], which walks the backing array forward and forces
 // a reallocation on a later append — an amortized heap allocation per
 // forwarded packet. The ring reuses its storage indefinitely: once grown to
-// the steady-state depth it never allocates again.
+// the steady-state depth it never allocates again. Capacity is always a
+// power of two (grow doubles from 8), so index wrapping is a mask, not a
+// division.
 type vlQueue struct {
 	buf  []queuedPacket
 	head int
@@ -90,26 +92,26 @@ func (q *vlQueue) len() int { return q.n }
 func (q *vlQueue) front() *queuedPacket { return &q.buf[q.head] }
 
 // at returns entry i in FIFO order (diagnostics).
-func (q *vlQueue) at(i int) *queuedPacket { return &q.buf[(q.head+i)%len(q.buf)] }
+func (q *vlQueue) at(i int) *queuedPacket { return &q.buf[(q.head+i)&(len(q.buf)-1)] }
 
 func (q *vlQueue) push(p queuedPacket) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
 	q.n++
 }
 
 func (q *vlQueue) pop() {
 	q.buf[q.head] = queuedPacket{} // drop the packet reference
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 }
 
 func (q *vlQueue) grow() {
 	nb := make([]queuedPacket, max(8, 2*len(q.buf)))
 	for i := 0; i < q.n; i++ {
-		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
 	}
 	q.buf, q.head = nb, 0
 }
@@ -135,8 +137,14 @@ type Port struct {
 	prop         units.Duration
 	egressFreeAt units.Time
 	scheduled    *sim.Event // the single pending pick, if any
-	rrNext       int
-	arb          vlarbState
+	// backlog counts packets queued anywhere in the switch whose route
+	// leads out this port. When a transmit leaves it at zero there is
+	// nothing for the follow-up pick to find, so transmit skips re-arming
+	// the egress; the next arrival's kick re-arms it at the same clamped
+	// time the skipped pick would have produced.
+	backlog int
+	rrNext  int
+	arb     vlarbState
 	// elig is the arbiter's candidate scratch, reused across picks so
 	// steady-state arbitration performs no growing appends.
 	elig []candidate
@@ -184,6 +192,14 @@ type Switch struct {
 	// OnForward, when set, observes every forwarded packet with its
 	// ingress arrival and egress start times (diagnostics).
 	OnForward func(pkt *ib.Packet, arrival, egressStart units.Time)
+
+	// EagerWakes disables pick-wake coalescing, restoring the historical
+	// behavior of scheduling every egress evaluation at the request time
+	// even when the egress is known to be busy (each such pick runs as a
+	// no-op and re-arms itself at egressFreeAt). Test-only: the wake
+	// invariants tests prove the coalesced scheduler forwards the same
+	// packets at the same times.
+	EagerWakes bool
 }
 
 // New builds a switch with n ports. The jitter source must be dedicated to
@@ -303,7 +319,16 @@ func (p *Port) deliver(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
 	})
 	p.vlMask |= 1 << vl
 	p.qbytes[vl] += pkt.WireSize()
-	sw.kick(sw.ports[out])
+	sw.ports[out].backlog++
+	// The new packet cannot be served before its cut-through gate opens;
+	// waking the egress sooner on its behalf would only observe an unready
+	// head and re-arm itself at exactly this time. Earlier candidates keep
+	// their earlier pending wake (wake takes the minimum).
+	at := sw.eng.Now()
+	if ready > at && !sw.EagerWakes {
+		at = ready
+	}
+	sw.wake(sw.ports[out], at)
 }
 
 // kick schedules an immediate egress evaluation for out.
@@ -367,10 +392,13 @@ func (sw *Switch) SetVLRateLimit(vl ib.VL, rate units.Bandwidth, burst units.Byt
 }
 
 // candidate identifies a queue head eligible or soon-eligible for egress.
+// qp points at the live queue head; it stays valid for the duration of a
+// pick (arbitration only reads the queues) and is copied out by transmit
+// before the winner is popped.
 type candidate struct {
 	inPort int
 	vl     ib.VL
-	qp     queuedPacket
+	qp     *queuedPacket
 }
 
 // pick runs the egress arbiter for out. It reuses out.elig as candidate
@@ -424,7 +452,7 @@ func (sw *Switch) pick(out *Port) {
 			}
 			// Tentatively reserved; only one candidate wins, so release
 			// the others below by tracking reservations.
-			eligible = append(eligible, candidate{inPort: in.idx, vl: ib.VL(vl), qp: *head})
+			eligible = append(eligible, candidate{inPort: in.idx, vl: ib.VL(vl), qp: head})
 		}
 		if inActive {
 			activeInputs++
@@ -644,8 +672,9 @@ func (sw *Switch) transmit(out *Port, c candidate, activeInputs int) {
 	if q.len() == 0 || q.front().pkt != c.qp.pkt {
 		panic("ibswitch: queue head changed during arbitration")
 	}
+	qp := *c.qp // copy out: pop clears the slot the candidate points into
 	q.pop()
-	in.qbytes[c.vl] -= c.qp.size
+	in.qbytes[c.vl] -= qp.size
 	if q.len() == 0 {
 		in.vlMask &^= 1 << c.vl
 	} else if next := q.front().outPort; next != out.idx {
@@ -657,17 +686,17 @@ func (sw *Switch) transmit(out *Port, c candidate, activeInputs int) {
 
 	if lim := sw.limits[c.vl]; lim != nil {
 		lim.refill(now)
-		lim.consume(c.qp.size)
+		lim.consume(qp.size)
 	}
 	if sw.OnForward != nil {
-		sw.OnForward(c.qp.pkt, c.qp.arrival, now)
+		sw.OnForward(qp.pkt, qp.arrival, now)
 	}
-	end := out.wire.Send(c.qp.pkt)
+	end := out.wire.Send(qp.pkt)
 	ser := end.Sub(now) // Wire.Send returns injection end (pre-propagation)
 	// Egress rearbitration overhead: the empirical quadratic fit described
 	// in model.SwitchParams. It extends the egress busy period but not the
 	// packet's own delivery time.
-	overhead := sw.arbOverhead(c.qp.size, activeInputs)
+	overhead := sw.arbOverhead(qp.size, activeInputs)
 	out.egressFreeAt = now.Add(ser + overhead)
 	sw.ForwardedPackets++
 
@@ -675,8 +704,11 @@ func (sw *Switch) transmit(out *Port, c candidate, activeInputs int) {
 	// egress (cut-through: ingress and egress drain together). Typed event:
 	// one departure per forwarded packet.
 	ev := sw.eng.AtEvent(now.Add(ser), "switch:depart", &in.departH)
-	ev.A, ev.B = int64(c.vl), int64(c.qp.size)
-	sw.wake(out, out.egressFreeAt)
+	ev.A, ev.B = int64(c.vl), int64(qp.size)
+	out.backlog--
+	if out.backlog > 0 || sw.EagerWakes {
+		sw.wake(out, out.egressFreeAt)
+	}
 }
 
 func (sw *Switch) arbOverhead(size units.ByteSize, activeInputs int) units.Duration {
@@ -689,10 +721,23 @@ func (sw *Switch) arbOverhead(size units.ByteSize, activeInputs int) units.Durat
 }
 
 // wake ensures pick runs for out no later than at, keeping a single
-// pending evaluation per egress port. Pulling the pending pick earlier is
-// the switch's hottest scheduling operation, so it reuses the queued event
-// (one sift, no allocation) instead of cancel-and-reschedule.
+// pending evaluation per egress port — rescheduled in place, never
+// stacked. Pulling the pending pick earlier is the switch's hottest
+// scheduling operation, so it reuses the queued event (an O(1) wheel
+// move, no allocation) instead of cancel-and-reschedule.
+//
+// Wake coalescing: a pick cannot transmit before the egress wire frees,
+// so a request earlier than egressFreeAt is clamped up to it. Without the
+// clamp every packet arriving while the egress is busy pulls the pending
+// pick to "now", where it runs as a no-op and re-arms itself at
+// egressFreeAt — one wasted event execution per arrival under load. The
+// clamp cannot change any arbitration outcome: the evaluations it elides
+// are exactly those that observe a busy egress and return (locked by the
+// wake-equivalence invariants tests and the experiment goldens).
 func (sw *Switch) wake(out *Port, at units.Time) {
+	if at < out.egressFreeAt && !sw.EagerWakes {
+		at = out.egressFreeAt
+	}
 	if out.scheduled != nil {
 		if out.scheduled.Time() <= at {
 			return

@@ -1,0 +1,188 @@
+package ibswitch_test
+
+// Wake-coalescing equivalence: the coalesced scheduler (pick wakes clamped
+// to egressFreeAt, transmit re-arms skipped when no backlog remains, NIC
+// engine wakes clamped to busyUntil and elided for unchanged FIFO heads)
+// must forward exactly the same packets at exactly the same times as the
+// historical eager scheduler, which evaluated on every arrival. The elided
+// evaluations are precisely those that observe a busy resource and re-arm
+// themselves; these tests run converged single-switch and multi-hop
+// fat-tree scenarios under both modes and require the full forwarding
+// traces to be identical.
+
+import (
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/ibswitch"
+	"repro/internal/model"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// fwdRec is one forwarded packet: identity plus the two timestamps the
+// arbiter decided.
+type fwdRec struct {
+	sw          int
+	src, dst    ib.NodeID
+	msgID       uint64
+	seq         int
+	kind        ib.PacketKind
+	arrival     units.Time
+	egressStart units.Time
+}
+
+// setEager flips every switch and NIC in the cluster to the historical
+// eager wake behavior.
+func setEager(c *topology.Cluster, eager bool) {
+	for _, sw := range c.Switches {
+		sw.EagerWakes = eager
+	}
+	for _, n := range c.NICs {
+		n.EagerWakes = eager
+	}
+}
+
+// traceRun builds a scenario with build, runs it for d, and returns every
+// forwarded packet in order.
+func traceRun(t *testing.T, eager bool, d units.Duration, build func(t *testing.T) *topology.Cluster) []fwdRec {
+	t.Helper()
+	c := build(t)
+	setEager(c, eager)
+	var trace []fwdRec
+	for i, sw := range c.Switches {
+		i := i
+		sw.OnForward = func(pkt *ib.Packet, arrival, egressStart units.Time) {
+			trace = append(trace, fwdRec{
+				sw: i, src: pkt.SrcNode, dst: pkt.DestNode,
+				msgID: pkt.MsgID, seq: pkt.SeqInMsg, kind: pkt.Kind,
+				arrival: arrival, egressStart: egressStart,
+			})
+		}
+	}
+	c.Eng.RunFor(d)
+	return trace
+}
+
+// assertSameTrace requires the two forwarding traces to match record for
+// record.
+func assertSameTrace(t *testing.T, coalesced, eager []fwdRec) {
+	t.Helper()
+	if len(coalesced) == 0 {
+		t.Fatal("scenario forwarded no packets")
+	}
+	if len(coalesced) != len(eager) {
+		t.Fatalf("forwarded %d packets coalesced vs %d eager", len(coalesced), len(eager))
+	}
+	for i := range coalesced {
+		if coalesced[i] != eager[i] {
+			t.Fatalf("forward %d diverged:\ncoalesced: %+v\neager:     %+v", i, coalesced[i], eager[i])
+		}
+	}
+}
+
+// starScenario is the paper's converged Fig. 7a shape: five bulk senders
+// and a latency probe sharing one drain port — the credit-limited steady
+// state where eager wakes were densest.
+func starScenario(t *testing.T) *topology.Cluster {
+	t.Helper()
+	c := topology.Star(model.HWTestbed(), 7, 1)
+	for i := 0; i < 5; i++ {
+		bsg, err := traffic.NewBSG(c.NIC(i), c.NIC(6), traffic.BSGConfig{Payload: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsg.Start(0)
+	}
+	lsg, err := traffic.NewLSG(c.NIC(5), 6, traffic.LSGConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsg.Start()
+	return c
+}
+
+// mixedStarScenario adds small-payload cross traffic so ACK-direction
+// egresses (idle ports, the trailing-pick case) and distinct packet sizes
+// are exercised too.
+func mixedStarScenario(t *testing.T) *topology.Cluster {
+	t.Helper()
+	c := topology.Star(model.HWTestbed(), 7, 1)
+	for i := 0; i < 3; i++ {
+		bsg, err := traffic.NewBSG(c.NIC(i), c.NIC(6), traffic.BSGConfig{Payload: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsg.Start(0)
+	}
+	small, err := traffic.NewBSG(c.NIC(3), c.NIC(4), traffic.BSGConfig{Payload: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Start(0)
+	back, err := traffic.NewBSG(c.NIC(6), c.NIC(0), traffic.BSGConfig{Payload: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Start(0)
+	return c
+}
+
+// fatTreeScenario converges five senders across two leaves and two spines
+// onto one drain host: multi-hop credit loops, trunk arbitration,
+// cross-switch kicks, and exposed-head re-arbitration.
+func fatTreeScenario(t *testing.T) *topology.Cluster {
+	t.Helper()
+	spec := topology.FatTreeSpec{Leaves: 2, HostsPerLeaf: 3, Spines: 2}
+	c, err := topology.FatTree(model.HWTestbed(), spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := spec.NumHosts() - 1
+	for n := 0; n < dst; n++ {
+		bsg, err := traffic.NewBSG(c.NIC(n), c.NIC(dst), traffic.BSGConfig{Payload: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bsg.Start(0)
+	}
+	return c
+}
+
+func TestWakeCoalescingIdenticalForwardingStar(t *testing.T) {
+	co := traceRun(t, false, 2*units.Millisecond, starScenario)
+	ea := traceRun(t, true, 2*units.Millisecond, starScenario)
+	assertSameTrace(t, co, ea)
+}
+
+func TestWakeCoalescingIdenticalForwardingMixed(t *testing.T) {
+	co := traceRun(t, false, 2*units.Millisecond, mixedStarScenario)
+	ea := traceRun(t, true, 2*units.Millisecond, mixedStarScenario)
+	assertSameTrace(t, co, ea)
+}
+
+func TestWakeCoalescingIdenticalForwardingFatTree(t *testing.T) {
+	co := traceRun(t, false, 2*units.Millisecond, fatTreeScenario)
+	ea := traceRun(t, true, 2*units.Millisecond, fatTreeScenario)
+	assertSameTrace(t, co, ea)
+}
+
+// The coalesced scheduler must also run every policy through identical
+// arbitration decisions — RR and VLArb keep per-port pointer and deficit
+// state whose evolution depends on the winner sequence.
+func TestWakeCoalescingIdenticalWinnersAcrossPolicies(t *testing.T) {
+	for _, pol := range []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR, ibswitch.VLArb, ibswitch.SPF} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			build := func(t *testing.T) *topology.Cluster {
+				c := starScenario(t)
+				c.SetPolicy(pol)
+				return c
+			}
+			co := traceRun(t, false, units.Millisecond, build)
+			ea := traceRun(t, true, units.Millisecond, build)
+			assertSameTrace(t, co, ea)
+		})
+	}
+}

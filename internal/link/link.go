@@ -91,6 +91,12 @@ type Wire struct {
 	gate   Gate
 	freeAt units.Time
 	name   string
+	// memoSize/memoSer cache the last serialization computation: a wire
+	// direction carries essentially one packet size in steady state (data
+	// segments one way, ACKs the other), and Serialization costs three
+	// integer divisions per call.
+	memoSize units.ByteSize
+	memoSer  units.Duration
 }
 
 // NewWire builds a wire toward peer whose ingress buffer is controlled by
@@ -120,7 +126,11 @@ func (w *Wire) Send(pkt *ib.Packet) units.Time {
 	if now < w.freeAt {
 		panic(fmt.Sprintf("link %s: overlapping Send at %v, busy until %v", w.name, now, w.freeAt))
 	}
-	ser := units.Serialization(pkt.WireSize(), w.bw)
+	ser := w.memoSer
+	if size := pkt.WireSize(); size != w.memoSize {
+		ser = units.Serialization(size, w.bw)
+		w.memoSize, w.memoSer = size, ser
+	}
 	w.freeAt = now.Add(ser)
 	start := now.Add(w.prop)
 	end := w.freeAt.Add(w.prop)
@@ -184,6 +194,15 @@ type vlState struct {
 	// would otherwise leave the occupancy one or two packets short.
 	residEWMA float64
 	bias      float64
+
+	// pendRel is the credit-return event most recently scheduled for this
+	// VL and pendRelAt the engine tick it was scheduled on. Two departures
+	// of the same VL in the same tick (a trunk port draining through two
+	// egresses at once) merge their returns into one event instead of
+	// stacking a second at the identical timestamp. Cleared when the event
+	// fires, so the pointer never outlives the engine's recycle.
+	pendRel   *sim.Event
+	pendRelAt units.Time
 }
 
 // BufferGate is the credit controller of one receiving port: per-VL windows
@@ -196,6 +215,9 @@ type BufferGate struct {
 	// Frozen disables occupancy targeting (honest naive credits) for the
 	// ablation benchmarks; the default true matches the testbed.
 	frozen bool
+	// eagerCredits disables same-tick credit-return coalescing (test-only:
+	// the coalescing-equivalence tests compare both modes).
+	eagerCredits bool
 }
 
 // rateEstimator measures a byte stream's rate over fixed time windows.
@@ -468,16 +490,29 @@ func (g *BufferGate) target(s *vlState) units.ByteSize {
 
 // scheduleRelease delays a credit return by the FC-update propagation time.
 // Typed event: credits return once per departure, so a closure here would
-// allocate per packet. Payload: A = VL, B = bytes.
+// allocate per packet. Payload: A = VL, B = bytes. Same-tick returns for
+// one VL coalesce into the already-pending event (the bytes would have
+// arrived at the same timestamp anyway; merging drops the duplicate event
+// and the duplicate onRelease fan-out).
 func (g *BufferGate) scheduleRelease(vl ib.VL, bytes units.ByteSize) {
+	s := &g.vls[vl]
+	now := g.eng.Now()
+	if s.pendRel != nil && s.pendRelAt == now && !g.eagerCredits {
+		s.pendRel.B += int64(bytes)
+		return
+	}
 	ev := g.eng.AfterEvent(g.returnDelay, "link:credit", g)
 	ev.A, ev.B = int64(vl), int64(bytes)
+	s.pendRel, s.pendRelAt = ev, now
 }
 
 // HandleEvent applies a delayed credit return scheduled by scheduleRelease.
 func (g *BufferGate) HandleEvent(ev *sim.Event) {
 	vl, bytes := ib.VL(ev.A), units.ByteSize(ev.B)
 	s := &g.vls[vl]
+	if s.pendRel == ev {
+		s.pendRel = nil
+	}
 	s.avail += bytes
 	if s.avail+s.reserved+s.resident+s.escrow > s.window {
 		panic("link: credit conservation violated")

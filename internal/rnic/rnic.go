@@ -162,11 +162,27 @@ type RNIC struct {
 	txFree     []*txPacket
 	segScratch []units.ByteSize
 
+	// occSize/occCost/occVal memoize the last EngineOccupancy computation:
+	// a NIC emits essentially one (wire size, message cost) combination in
+	// steady state, and the serialization inside costs integer divisions.
+	occSize units.ByteSize
+	occCost units.Duration
+	occVal  units.Duration
+
 	// OnDeliver and OnRecvMessage are optional observation hooks. Hooks
 	// receive packets on loan: the pointer is released back to the packet
 	// pool when the hook returns and must not be retained.
 	OnDeliver     DeliverFn
 	OnRecvMessage RecvFn
+
+	// EagerWakes disables send-engine wake coalescing, restoring the
+	// historical behavior of scheduling an engine evaluation at enqueue
+	// time even when the engine is known to be busy, credit-blocked, or
+	// already armed for an unchanged FIFO head (each such evaluation runs
+	// as a no-op and re-arms itself). Test-only: the wake invariants tests
+	// prove the coalesced scheduler injects the same packets at the same
+	// times.
+	EagerWakes bool
 
 	// Counters for tests and diagnostics.
 	SentMessages uint64
@@ -321,7 +337,7 @@ func (r *RNIC) PostSend(qp *QP, verb ib.Verb, payload units.ByteSize, onComplete
 		tx.pkt = pkt
 		tx.readyAt = ready
 		tx.wire = wire
-		tx.occupancy = r.par.EngineOccupancy(pkt.WireSize(), qp.msgCost(r))
+		tx.occupancy = r.occupancyFor(pkt.WireSize(), qp.msgCost(r))
 		if pkt.LastInMsg && qp.Transport == ib.UD && !qp.Loopback {
 			// Fig. 1c: CQE as soon as the request is on the wire. The
 			// callback rides in the txPacket instead of a closure.
@@ -338,6 +354,16 @@ func (q *QP) msgCost(r *RNIC) units.Duration {
 		return q.MsgCost
 	}
 	return r.par.MessageCost
+}
+
+// occupancyFor computes the engine occupancy of a packet, memoizing the
+// last (size, msgCost) pair.
+func (r *RNIC) occupancyFor(size units.ByteSize, msgCost units.Duration) units.Duration {
+	if size != r.occSize || msgCost != r.occCost {
+		r.occSize, r.occCost = size, msgCost
+		r.occVal = r.par.EngineOccupancy(size, msgCost)
+	}
+	return r.occVal
 }
 
 // cqeHandler dispatches a scheduled completion: Ptr holds the
@@ -420,7 +446,7 @@ func (r *RNIC) recvData(pkt *ib.Packet, wireEnd units.Time) {
 		tx.pkt = ack
 		tx.readyAt = ackReady
 		tx.wire = r.wire
-		tx.occupancy = r.par.EngineOccupancy(ack.WireSize(), r.par.AckTurnaround)
+		tx.occupancy = r.occupancyFor(ack.WireSize(), r.par.AckTurnaround)
 		r.ctrl.enqueue(tx)
 	}
 	if pkt.LastInMsg && r.OnRecvMessage != nil {
@@ -479,7 +505,7 @@ func (r *RNIC) serveRead(pkt *ib.Packet, wireEnd units.Time) {
 		tx.pkt = rsp
 		tx.readyAt = ready
 		tx.wire = r.wire
-		tx.occupancy = r.par.EngineOccupancy(rsp.WireSize(), r.par.MessageCost)
+		tx.occupancy = r.occupancyFor(rsp.WireSize(), r.par.MessageCost)
 		r.ctrl.enqueue(tx)
 	}
 }
@@ -553,19 +579,46 @@ func newEngine(r *RNIC, name string) *engine {
 
 func (e *engine) enqueue(tx *txPacket) {
 	e.queue = append(e.queue, tx)
-	e.wake(e.r.eng.Now())
+	if e.r.EagerWakes {
+		e.wake(e.r.eng.Now())
+		return
+	}
+	// Wake coalescing: skip evaluations that are guaranteed no-ops.
+	if e.waiting {
+		return // blocked on credits; CreditGranted re-arms the engine
+	}
+	if !e.reorder && len(e.queue) > 1 {
+		return // FIFO head unchanged; its evaluation is already pending
+	}
+	// The new entry cannot inject before it is ready or before its wire
+	// frees (and never before busyUntil — wake clamps that); an earlier
+	// evaluation would only observe the constraint and re-arm itself.
+	at := e.r.eng.Now()
+	if tx.readyAt > at {
+		at = tx.readyAt
+	}
+	if w := tx.wire.FreeAt(); w > at {
+		at = w
+	}
+	e.wake(at)
 }
 
 // wake keeps exactly one pending evaluation scheduled, moving it earlier
 // when needed. A single outstanding event per engine keeps the event count
-// linear in the packet count.
+// linear in the packet count. Requests earlier than busyUntil are clamped
+// up to it: the engine cannot serve anything before its current occupancy
+// ends, so waking sooner would be a guaranteed no-op (same argument —
+// and the same invariants-test lock — as the switch's pick-wake clamp).
 func (e *engine) wake(at units.Time) {
+	if e.busyUntil > at && !e.r.EagerWakes {
+		at = e.busyUntil
+	}
 	if e.scheduled != nil {
 		if e.scheduled.Time() <= at {
 			return
 		}
-		// Pull the pending evaluation earlier in place: one sift in the
-		// event queue, no allocation.
+		// Pull the pending evaluation earlier in place: an O(1) move in
+		// the calendar wheel, no allocation.
 		e.r.eng.Reschedule(e.scheduled, at)
 		return
 	}
@@ -651,6 +704,19 @@ func (e *engine) process() {
 		next := e.busyUntil
 		if now > next {
 			next = now
+		}
+		if !e.r.EagerWakes {
+			// Re-arm for when the next pick can actually act, not merely
+			// when this transmit's occupancy ends: an evaluation before
+			// the head is ready (or its wire free) only observes the
+			// constraint and re-arms itself at exactly this time.
+			nh := e.queue[e.pickIndex()]
+			if nh.readyAt > next {
+				next = nh.readyAt
+			}
+			if w := nh.wire.FreeAt(); w > next {
+				next = w
+			}
 		}
 		e.wake(next)
 	}

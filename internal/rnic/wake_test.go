@@ -1,0 +1,120 @@
+package rnic_test
+
+// Send-engine wake-coalescing equivalence: clamping engine wakes to
+// busyUntil, skipping wakes for unchanged FIFO heads, and deferring to
+// CreditGranted while credit-blocked must not move a single completion.
+// These tests run message streams whose completions depend on every engine
+// constraint (occupancy, wire contention, readiness, credit blocking) in
+// both modes and require identical CQE timestamps.
+
+import (
+	"testing"
+
+	"repro/internal/ib"
+	"repro/internal/model"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// cqeTrace posts a deterministic workload on a fresh cluster and returns
+// every completion timestamp in completion order.
+func cqeTrace(t *testing.T, eager bool, build func(t *testing.T, record func(tag int, at units.Time)) *topology.Cluster) []units.Time {
+	t.Helper()
+	var trace []units.Time
+	c := build(t, func(tag int, at units.Time) { trace = append(trace, at) })
+	for _, n := range c.NICs {
+		n.EagerWakes = eager
+	}
+	c.Eng.Run()
+	return trace
+}
+
+func assertSameTimes(t *testing.T, coalesced, eager []units.Time) {
+	t.Helper()
+	if len(coalesced) == 0 {
+		t.Fatal("workload completed nothing")
+	}
+	if len(coalesced) != len(eager) {
+		t.Fatalf("%d completions coalesced vs %d eager", len(coalesced), len(eager))
+	}
+	for i := range coalesced {
+		if coalesced[i] != eager[i] {
+			t.Fatalf("completion %d diverged: coalesced %v, eager %v", i, coalesced[i], eager[i])
+		}
+	}
+}
+
+// TestEngineWakeCoalescingBackToBack streams pipelined WRITEs in both
+// directions plus interleaved SENDs, saturating engine occupancy and the
+// shared fabric wire of each NIC.
+func TestEngineWakeCoalescingBackToBack(t *testing.T) {
+	build := func(t *testing.T, record func(int, units.Time)) *topology.Cluster {
+		t.Helper()
+		c := topology.BackToBack(model.HWTestbed(), 1)
+		q01 := c.NIC(0).CreateQP(ib.RC, 1, 0)
+		q10 := c.NIC(1).CreateQP(ib.RC, 0, 0)
+		// 40 pipelined messages each way, alternating sizes so engine
+		// occupancy and serialization interact.
+		for i := 0; i < 40; i++ {
+			size := units.ByteSize(4096)
+			if i%3 == 1 {
+				size = 512
+			} else if i%3 == 2 {
+				size = 64
+			}
+			c.NIC(0).PostSend(q01, ib.VerbWrite, size, func(at units.Time) { record(0, at) })
+			c.NIC(1).PostSend(q10, ib.VerbSend, size, func(at units.Time) { record(1, at) })
+		}
+		return c
+	}
+	assertSameTimes(t, cqeTrace(t, false, build), cqeTrace(t, true, build))
+}
+
+// TestEngineWakeCoalescingCreditBlocked converges five senders through the
+// switch onto one drain port so every data engine spends most of its time
+// blocked on downstream credits — the CreditGranted re-arm path.
+func TestEngineWakeCoalescingCreditBlocked(t *testing.T) {
+	build := func(t *testing.T, record func(int, units.Time)) *topology.Cluster {
+		t.Helper()
+		c := topology.Star(model.HWTestbed(), 7, 1)
+		for n := 0; n < 5; n++ {
+			n := n
+			qp := c.NIC(n).CreateQP(ib.RC, 6, 0)
+			var post func(i int)
+			post = func(i int) {
+				if i >= 25 {
+					return
+				}
+				c.NIC(n).PostSend(qp, ib.VerbWrite, 4096, func(at units.Time) {
+					record(n, at)
+					post(i + 1)
+				})
+			}
+			post(0)
+		}
+		return c
+	}
+	assertSameTimes(t, cqeTrace(t, false, build), cqeTrace(t, true, build))
+}
+
+// TestEngineWakeCoalescingReadResponder exercises the reordering ctrl
+// engine: READ responses stream from the responder while ACK traffic
+// shares it.
+func TestEngineWakeCoalescingReadResponder(t *testing.T) {
+	build := func(t *testing.T, record func(int, units.Time)) *topology.Cluster {
+		t.Helper()
+		c := topology.BackToBack(model.HWTestbed(), 1)
+		qr := c.NIC(0).CreateQP(ib.RC, 1, 0)
+		qw := c.NIC(0).CreateQP(ib.RC, 1, 0)
+		for i := 0; i < 20; i++ {
+			size := units.ByteSize(8192)
+			if i%2 == 1 {
+				size = 256
+			}
+			c.NIC(0).PostSend(qr, ib.VerbRead, size, func(at units.Time) { record(0, at) })
+			c.NIC(0).PostSend(qw, ib.VerbSend, 1024, func(at units.Time) { record(1, at) })
+		}
+		return c
+	}
+	assertSameTimes(t, cqeTrace(t, false, build), cqeTrace(t, true, build))
+}

@@ -1,13 +1,21 @@
 package sim
 
-// Benchmarks comparing the indexed 4-ary calendar against the seed's
-// container/heap binary-heap engine, which is preserved below verbatim
-// (modulo renaming) as the baseline. Two workloads matter:
+// Benchmarks comparing three calendar generations on two workloads:
+//
+//   - Wheel: the hierarchical timing wheel behind Engine (wheel.go).
+//   - Heap: the indexed 4-ary heap that was the engine through PR 3,
+//     retained in sim.go as the far-future overflow structure and driven
+//     here through a minimal harness with the engine's exact (time, seq)
+//     discipline.
+//   - Legacy: the seed's container/heap binary-heap engine, preserved
+//     verbatim (modulo renaming).
+//
+// Two workloads matter:
 //
 //   - Mix: the generic schedule/cancel/pop churn of a busy fabric.
 //   - Wake: the switch/NIC pattern — one pending evaluation per resource,
-//     constantly pulled earlier — which the new engine serves with
-//     Reschedule instead of Cancel+At.
+//     constantly pulled earlier — served with Reschedule (same-bucket
+//     moves on the wheel, one sift on the heaps) instead of Cancel+At.
 //
 // Results are recorded in CHANGES.md.
 
@@ -104,7 +112,58 @@ const mixPopulation = 1024
 
 func nopFn() {}
 
-func BenchmarkQueueMixIndexed(b *testing.B) {
+// heapEngine drives the retained 4-ary eventQueue with the engine's
+// scheduling discipline: the mid-tier baseline.
+type heapEngine struct {
+	now  units.Time
+	q    eventQueue
+	free []*Event
+	seq  uint64
+}
+
+func (e *heapEngine) At(at units.Time, fn func()) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.seq++
+	e.q.push(ev)
+	return ev
+}
+
+func (e *heapEngine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	e.q.remove(ev.index)
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+func (e *heapEngine) Reschedule(ev *Event, at units.Time) {
+	ev.at, ev.seq = at, e.seq
+	e.seq++
+	e.q.fix(ev.index)
+}
+
+func (e *heapEngine) Step() bool {
+	if e.q.len() == 0 {
+		return false
+	}
+	ev := e.q.pop()
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
+	return true
+}
+
+func BenchmarkQueueMixWheel(b *testing.B) {
 	e := New()
 	src := rng.New(1)
 	type entry struct {
@@ -128,6 +187,43 @@ func BenchmarkQueueMixIndexed(b *testing.B) {
 		sched()
 		// Cancel one random surviving event; purge fired entries met on the
 		// way (their *Event may have been recycled — see the package doc).
+		for len(live) > 0 {
+			j := src.Intn(len(live))
+			en := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if fired[en.id] {
+				continue
+			}
+			e.Cancel(en.ev)
+			break
+		}
+		e.Step()
+	}
+}
+
+func BenchmarkQueueMixHeap(b *testing.B) {
+	e := &heapEngine{}
+	src := rng.New(1)
+	type entry struct {
+		id int
+		ev *Event
+	}
+	var fired []bool
+	var live []entry
+	sched := func() {
+		id := len(fired)
+		fired = append(fired, false)
+		ev := e.At(e.now.Add(units.Duration(src.Intn(1_000_000))), func() { fired[id] = true })
+		live = append(live, entry{id, ev})
+	}
+	for i := 0; i < mixPopulation; i++ {
+		sched()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched()
+		sched()
 		for len(live) > 0 {
 			j := src.Intn(len(live))
 			en := live[j]
@@ -185,7 +281,7 @@ func BenchmarkQueueMixLegacy(b *testing.B) {
 // repeatedly pulled to an earlier time as packets arrive.
 const wakePorts = 36
 
-func BenchmarkQueueWakeIndexed(b *testing.B) {
+func BenchmarkQueueWakeWheel(b *testing.B) {
 	e := New()
 	src := rng.New(2)
 	var picks [wakePorts]*Event
@@ -200,6 +296,28 @@ func BenchmarkQueueWakeIndexed(b *testing.B) {
 		p := src.Intn(wakePorts)
 		at := units.Time(1_000_000 + src.Intn(400_000_000))
 		if picks[p].Time() > at {
+			e.Reschedule(picks[p], at)
+		} else {
+			e.Reschedule(picks[p], at.Add(500_000_000))
+		}
+	}
+}
+
+func BenchmarkQueueWakeHeap(b *testing.B) {
+	e := &heapEngine{}
+	src := rng.New(2)
+	var picks [wakePorts]*Event
+	for i := 0; i < mixPopulation; i++ {
+		e.At(units.Time(1_000_000_000+src.Intn(1_000_000_000)), nopFn)
+	}
+	for p := range picks {
+		picks[p] = e.At(units.Time(500_000_000+src.Intn(100_000_000)), nopFn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := src.Intn(wakePorts)
+		at := units.Time(1_000_000 + src.Intn(400_000_000))
+		if picks[p].at > at {
 			e.Reschedule(picks[p], at)
 		} else {
 			e.Reschedule(picks[p], at.Add(500_000_000))

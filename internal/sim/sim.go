@@ -11,10 +11,15 @@
 //     drift between, say, a link's serialization completion and the credit
 //     return it triggers.
 //
-// The calendar is an index-tracked 4-ary min-heap (see eventQueue) with an
-// event free list, so the hot wake/kick paths in the NIC and switch models
-// — which constantly pull an already-pending evaluation to an earlier time
-// — cost one O(log4 n) sift and zero allocations via Reschedule.
+// The calendar is a hierarchical timing wheel (see wheel.go): power-of-two
+// tick buckets across three geometrically coarsening levels, with a 4-ary
+// min-heap (eventQueue) holding far-future outliers, plus an event free
+// list. Nearly every delay the fabric schedules — propagation,
+// serialization, credit returns, engine occupancy — falls within the
+// wheel's first levels, so the hot wake/kick paths in the NIC and switch
+// models — which constantly pull an already-pending evaluation to an
+// earlier time — cost O(1) bucket moves and zero allocations via
+// Reschedule.
 //
 // Event lifetime: a *Event returned by At/After is owned by the caller only
 // while the event is pending. Once it fires or is canceled, the engine
@@ -58,7 +63,9 @@ type Event struct {
 	seq   uint64 // tie-break: FIFO among equal timestamps
 	fn    func()
 	h     Handler
-	index int // heap index; -1 once popped or canceled
+	index int   // slot within the wheel bucket, drain buffer, or far heap; -1 once popped or canceled
+	lvl   int8  // location code: wheel level, locDrain, or locFar (see wheel.go)
+	bkt   int16 // wheel bucket index (meaningful for wheel levels only)
 	label string
 
 	// Typed payload, interpreted by the Handler. Callers of
@@ -80,7 +87,7 @@ func (e *Event) Label() string { return e.label }
 // usable; construct with New.
 type Engine struct {
 	now     units.Time
-	queue   eventQueue
+	queue   wheel
 	free    []*Event
 	seq     uint64
 	ran     uint64
@@ -185,16 +192,17 @@ func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 {
 		return
 	}
-	e.queue.remove(ev.index)
+	e.queue.remove(ev)
 	e.release(ev)
 }
 
 // Reschedule moves a pending event to a new firing time. It is equivalent
 // to Cancel followed by At with the same fn and label — including the FIFO
 // tie rule: the moved event orders as the most recently scheduled among
-// equal timestamps — but reuses the queue entry, costing one sift and no
-// allocation. Rescheduling an event that already fired or was canceled is
-// a programming error and panics.
+// equal timestamps — but reuses the queue entry, costing an O(1) bucket
+// move (often nothing at all, when the new time maps to the same wheel
+// bucket) and no allocation. Rescheduling an event that already fired or
+// was canceled is a programming error and panics.
 func (e *Engine) Reschedule(ev *Event, at units.Time) {
 	if ev == nil || ev.index < 0 {
 		panic("sim: rescheduling an event that is not pending")
@@ -205,7 +213,7 @@ func (e *Engine) Reschedule(ev *Event, at units.Time) {
 	ev.at = at
 	ev.seq = e.seq
 	e.seq++
-	e.queue.fix(ev.index)
+	e.queue.move(ev)
 }
 
 // Stop makes Run return after the current event completes.
@@ -268,12 +276,13 @@ func (e *Engine) RunFor(d units.Duration) {
 // Four-way branching halves the depth of a binary heap, which pays off in
 // sift-down — the dominant operation of a drain-heavy calendar — at the
 // price of up to three extra comparisons per level over elements that
-// share a cache line. The wins over the container/heap predecessor (which
-// also tracked indices) are the shallower layout, the absence of
-// interface boxing, the event free list, and single-sift Reschedule —
-// which matters because the switch's egress arbiter and the NIC's send
-// engines reschedule their single pending evaluation for nearly every
-// packet forwarded. See queue_bench_test.go for the measured difference.
+// share a cache line.
+//
+// It was the engine's calendar through PR 3 and now serves two roles: the
+// timing wheel's far-future overflow structure (events beyond the level-2
+// horizon, where O(log n) on a handful of long timers is irrelevant), and
+// the mid-tier baseline in queue_bench_test.go — the wheel is benchmarked
+// against both this heap and the seed's container/heap engine.
 type eventQueue struct {
 	events []*Event
 }

@@ -324,6 +324,10 @@ func TestFreeListReuseIsClean(t *testing.T) {
 // engine fires exactly the surviving events, in the order a reference
 // model predicts: ascending time, ties broken by most recent
 // (re)scheduling order — the Cancel+At equivalence Reschedule promises.
+// TestPropertyWheelMatchesHeapReference (wheel_test.go) extends this into
+// a cross-implementation check: the same op mixes driven against the
+// timing wheel and the retained 4-ary heap must produce identical firing
+// orders, same-tick ties and far-future overflow cascades included.
 func TestPropertyScheduleCancelRescheduleMix(t *testing.T) {
 	f := func(ops []uint16) bool {
 		e := New()
