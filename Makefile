@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-debugpackets golden smoke-examples ci
+.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-debugpackets golden smoke-examples smoke-specs ci
 
 all: vet build test
 
@@ -73,11 +73,26 @@ golden:
 	$(GO) test ./internal/experiments/ -run 'GoldenFile' -update
 
 # smoke-examples runs every example binary end to end so the walkthroughs
-# cannot silently rot as the API evolves.
-smoke-examples:
+# cannot silently rot as the API evolves, then validates the committed
+# declarative specs (smoke-specs).
+smoke-examples: smoke-specs
 	@set -e; for d in examples/*/; do \
 		echo "== $$d"; \
 		$(GO) run ./$$d >/dev/null; \
+	done
+
+# smoke-specs exercises the declarative experiment surface: the registry
+# listing, and a parse + Quick()-scale run of every committed .json spec
+# (specs/ and the example specs), so a spec that drifts from the schema
+# fails CI instead of rotting.
+smoke-specs:
+	@set -e; \
+	echo "== ibsim list"; \
+	$(GO) run ./cmd/ibsim list >/dev/null; \
+	for f in specs/*.json examples/*/spec.json; do \
+		[ -e "$$f" ] || continue; \
+		echo "== ibsim run -spec $$f"; \
+		$(GO) run ./cmd/ibsim run -spec "$$f" -measure 3ms -warmup 1ms -seeds 1 >/dev/null; \
 	done
 
 ci: vet build test race cover test-alloc test-debugpackets smoke-examples

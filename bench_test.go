@@ -115,9 +115,10 @@ func BenchmarkAblationNoArbOverhead(b *testing.B) {
 	par.Switch.ArbOverheadMax = 0
 	var total float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Run(experiments.Scenario{
-			Fabric: par, Topo: experiments.TopoStar, NumBSGs: 5, BSGBytes: 4096,
-		}, benchOpts(), 1)
+		r, err := experiments.RunFabric(experiments.Point{
+			Topology: topology.SpecStar,
+			Workload: experiments.Workload{{Kind: experiments.GroupBSG, Count: 5, Payload: 4096}},
+		}, par, benchOpts(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,9 +140,13 @@ func benchWindow(b *testing.B, w units.ByteSize) {
 	par.Switch.VLWindowOverride = nil
 	var med float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Run(experiments.Scenario{
-			Fabric: par, Topo: experiments.TopoStar, NumBSGs: 5, BSGBytes: 4096, LSG: true,
-		}, benchOpts(), 1)
+		r, err := experiments.RunFabric(experiments.Point{
+			Topology: topology.SpecStar,
+			Workload: experiments.Workload{
+				{Kind: experiments.GroupBSG, Count: 5, Payload: 4096},
+				{Kind: experiments.GroupLSG},
+			},
+		}, par, benchOpts(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,7 +192,7 @@ func benchSweep(b *testing.B, workers int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7a(opts); err != nil {
+		if _, err := experiments.RunID("fig7a", opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -212,7 +217,7 @@ func benchIncastSweep(b *testing.B, workers int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.IncastSweep(opts); err != nil {
+		if _, err := experiments.RunID("incast", opts); err != nil {
 			b.Fatal(err)
 		}
 	}

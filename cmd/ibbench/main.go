@@ -1,14 +1,16 @@
 // Command ibbench regenerates the paper's evaluation: one table per figure
-// (Fig. 4-13 and the Eq. 2 analysis).
+// (Fig. 4-13 and the Eq. 2 analysis), plus any other registered experiment
+// (`ibsim list` prints the registry).
 //
 // Usage:
 //
 //	ibbench [-fig all|fig4|fig5|...|fig13|eq2] [-measure 12ms] [-warmup 3ms]
-//	        [-seeds 3] [-parallel 0] [-csv dir]
+//	        [-seeds 3] [-parallel 0] [-csv dir] [-jsonl dir]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
-// Output is an aligned text table per experiment; -csv additionally writes
-// one CSV file per experiment into the given directory.
+// Output is an aligned text table per experiment; -csv and -jsonl
+// additionally write one CSV / JSON-lines file per experiment into the
+// given directory.
 //
 // -parallel sets the worker-pool size for fanning scenario runs across
 // CPUs (0 = one worker per CPU, 1 = sequential). Tables are byte-identical
@@ -24,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -36,12 +39,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id (fig4..fig13, eq2) or 'all'")
+	fig := flag.String("fig", "all", "experiment id (see `ibsim list`) or 'all' for the paper's figures")
 	measure := flag.Duration("measure", 12*time.Millisecond, "simulated measurement window")
 	warmup := flag.Duration("warmup", 3*time.Millisecond, "simulated warmup before measuring")
 	seeds := flag.Int("seeds", 3, "number of seeds to average (paper: 3 runs)")
 	parallel := flag.Int("parallel", 0, "scenario worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	jsonlDir := flag.String("jsonl", "", "directory to write per-experiment JSON-lines files")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -92,7 +96,7 @@ func main() {
 		opts.Seeds = append(opts.Seeds, uint64(s))
 	}
 
-	err := regenerate(*fig, *csvDir, opts)
+	err := regenerate(*fig, *csvDir, *jsonlDir, opts)
 	finishProfiles() // before any exit: a failing run's profile still lands
 	if err != nil {
 		fatal(err)
@@ -100,7 +104,7 @@ func main() {
 }
 
 // regenerate runs the selected experiments and renders their tables.
-func regenerate(fig, csvDir string, opts experiments.Options) error {
+func regenerate(fig, csvDir, jsonlDir string, opts experiments.Options) error {
 	var tables []*experiments.Table
 	if fig == "all" {
 		ts, err := experiments.All(opts)
@@ -110,11 +114,8 @@ func regenerate(fig, csvDir string, opts experiments.Options) error {
 		tables = ts
 	} else {
 		for _, id := range strings.Split(fig, ",") {
-			runner, ok := experiments.ByID(strings.TrimSpace(id))
-			if !ok {
-				return fmt.Errorf("unknown experiment %q", id)
-			}
-			t, err := runner(opts)
+			id = strings.TrimSpace(id)
+			t, err := experiments.RunID(id, opts)
 			if err != nil {
 				return err
 			}
@@ -125,7 +126,12 @@ func regenerate(fig, csvDir string, opts experiments.Options) error {
 	for _, t := range tables {
 		fmt.Println(t.String())
 		if csvDir != "" {
-			if err := writeCSV(csvDir, t); err != nil {
+			if err := writeSink(csvDir, t.ID+".csv", t, experiments.NewCSVSink); err != nil {
+				return err
+			}
+		}
+		if jsonlDir != "" {
+			if err := writeSink(jsonlDir, t.ID+".jsonl", t, experiments.NewJSONLSink); err != nil {
 				return err
 			}
 		}
@@ -133,16 +139,17 @@ func regenerate(fig, csvDir string, opts experiments.Options) error {
 	return nil
 }
 
-func writeCSV(dir string, t *experiments.Table) error {
+// writeSink streams one table into dir/name through the given sink.
+func writeSink(dir, name string, t *experiments.Table, sink func(io.Writer) experiments.Sink) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return t.WriteCSV(f)
+	return t.Emit(sink(f))
 }
 
 func fatal(err error) {

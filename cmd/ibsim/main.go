@@ -1,20 +1,31 @@
-// Command ibsim is a free-form playground for the switch model: choose a
-// topology, scheduling policy, QoS configuration and traffic mix, and
-// observe the resulting latency/bandwidth split.
+// Command ibsim runs simulated InfiniBand scenarios: the built-in
+// experiment registry, user-authored JSON specs, and a free-form
+// playground.
 //
 // Usage:
 //
-//	ibsim [-profile hw|sim] [-topo star|twotier|fattree] [-policy fcfs|rr|vlarb|spf]
-//	      [-leaves 3 -hosts 4 -spines 2 -trunks 1]
-//	      [-qos] [-bsgs 5] [-bsg-payload 4096] [-pretend] [-duration 10ms]
-//	      [-seed 1] [-runs 1] [-parallel 0]
+//	ibsim list
+//	    List every registered experiment (the paper's figures, the
+//	    extension experiments and the fat-tree suite).
 //
-// -topo fattree generates a two-layer fabric (-leaves x -hosts hosts behind
-// -spines spine switches, -trunks parallel cables per leaf-spine pair) with
-// automatically derived destination-based routing; the BSGs converge on the
-// last host from sources spread across the leaves while the LSG probes the
-// same drain port from host 0, the incast generalization of the paper's §V
-// setup.
+//	ibsim run -spec file.json [-measure 12ms] [-warmup 3ms] [-seeds 3]
+//	          [-parallel 0] [-format text|csv|jsonl] [-out path] [-generic]
+//	    Execute a declarative experiment spec through the generic sweep
+//	    engine — arbitrary novel scenarios without recompiling. If the
+//	    spec's id matches a registered experiment, the registry's table
+//	    layout is applied (so an exported figure spec reproduces the
+//	    figure byte for byte); -generic forces the one-row-per-point
+//	    layout regardless.
+//
+//	ibsim export -id fig7a [-out path]
+//	    Write a registered experiment's spec as JSON: the starting point
+//	    for authoring variations.
+//
+//	ibsim [-profile hw|sim] [-topo backtoback|star|twotier|fattree]
+//	      [-leaves 3 -hosts 4 -spines 2 -trunks 1]
+//	      [-policy fcfs|rr|vlarb|spf] [-qos] [-bsgs 5] [-bsg-payload 4096]
+//	      [-pretend] [-duration 10ms] [-seed 1] [-runs 1] [-parallel 0]
+//	    Playground: one converged scenario, per-run printout.
 //
 // -runs repeats the configured scenario under consecutive seeds (seed,
 // seed+1, ...) and reports each run plus the average, the same protocol the
@@ -28,118 +39,286 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/ib"
 	"repro/internal/ibswitch"
-	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
 
 func main() {
-	profile := flag.String("profile", "hw", "hw (SX6012) or sim (OMNeT-like)")
-	topo := flag.String("topo", "star", "star, twotier or fattree")
-	flag.StringVar(topo, "topology", "star", "alias for -topo")
-	leaves := flag.Int("leaves", 3, "fattree: number of leaf switches")
-	hosts := flag.Int("hosts", 4, "fattree: hosts per leaf")
-	spines := flag.Int("spines", 2, "fattree: number of spine switches")
-	trunks := flag.Int("trunks", 1, "fattree: parallel cables per leaf-spine pair")
-	policy := flag.String("policy", "fcfs", "fcfs, rr, vlarb or spf")
-	qos := flag.Bool("qos", false, "dedicated SL/VL QoS (maps SL1 to high-priority VL1)")
-	bsgs := flag.Int("bsgs", 5, "bulk generators")
-	bsgPayload := flag.Int64("bsg-payload", 4096, "bulk message size")
-	pretend := flag.Bool("pretend", false, "replace one BSG with a pretend-LSG (requires -qos)")
-	duration := flag.Duration("duration", 10*time.Millisecond, "simulated run length")
-	seed := flag.Uint64("seed", 1, "random seed of the first run")
-	runs := flag.Int("runs", 1, "number of seeded runs to average")
-	parallel := flag.Int("parallel", 0, "worker pool size for the runs (0 = GOMAXPROCS, 1 = sequential)")
-	flag.Parse()
-
-	sc := experiments.Scenario{
-		Fabric:   model.HWTestbed(),
-		BSGBytes: units.ByteSize(*bsgPayload),
-		LSG:      true,
-	}
-	if *profile == "sim" {
-		sc.Fabric = model.OMNeTSim()
-	}
-
-	maxBSGs := 5 // the legacy topologies expose five bulk-source slots
-	switch *topo {
-	case "star":
-		sc.Topo = experiments.TopoStar
-	case "twotier":
-		sc.Topo = experiments.TopoTwoTier
-	case "fattree":
-		spec := topology.FatTreeSpec{
-			Leaves:       *leaves,
-			HostsPerLeaf: *hosts,
-			Spines:       *spines,
-			Trunks:       *trunks,
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		switch os.Args[1] {
+		case "list":
+			cmdList(os.Args[2:])
+		case "run":
+			cmdRun(os.Args[2:])
+		case "export":
+			cmdExport(os.Args[2:])
+		case "help": // -h/--help start with '-' and are handled by the flag package
+			fs, _ := playgroundFlags()
+			fs.Usage()
+		default:
+			fatal(fmt.Errorf("unknown command %q (valid: list, run, export, or flags for the playground)", os.Args[1]))
 		}
-		if err := spec.Validate(); err != nil {
-			fatal(err)
-		}
-		sc.Topo = experiments.TopoFatTree
-		sc.FatTree = spec
-		maxBSGs = spec.NumHosts() - 2 // minus the probe and the drain host
-	default:
-		fatal(fmt.Errorf("unknown topology %q", *topo))
+		return
 	}
+	playground(os.Args[1:])
+}
 
-	switch *policy {
-	case "fcfs":
-		sc.Policy = ibswitch.FCFS
-	case "rr":
-		sc.Policy = ibswitch.RR
-	case "vlarb":
-		sc.Policy = ibswitch.VLArb
-	case "spf":
-		sc.Policy = ibswitch.SPF
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
-	}
-	if *qos {
-		arb := ib.DedicatedVLArb()
-		sc.Policy = ibswitch.VLArb
-		sc.SL2VL = ib.DedicatedSL2VL()
-		sc.VLArb = &arb
-		sc.BSGSL = 0
-		sc.LSGSL = 1
-	}
+// --- ibsim list -------------------------------------------------------------
 
-	sc.NumBSGs = *bsgs
-	if sc.NumBSGs > maxBSGs {
-		sc.NumBSGs = maxBSGs
-	}
-	if *pretend {
-		sc.Pretend = true
-		if sc.NumBSGs > 0 {
-			sc.NumBSGs-- // the pretend LSG takes the last bulk-source slot
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("ibsim list", flag.ExitOnError)
+	must(fs.Parse(args))
+	defs := experiments.Definitions()
+	wid := 0
+	for _, d := range defs {
+		if len(d.ID) > wid {
+			wid = len(d.ID)
 		}
 	}
+	for _, d := range defs {
+		tag := " "
+		if d.Paper {
+			tag = "*"
+		}
+		fmt.Printf("%s %-*s  %s\n", tag, wid, d.ID, d.Title)
+	}
+	fmt.Println("\n* = regenerates a figure/table of the paper; run with `ibbench -fig <id>`")
+	fmt.Println("export any entry as a JSON starting point: `ibsim export -id <id>`")
+}
 
+// --- ibsim run --------------------------------------------------------------
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("ibsim run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "path to a JSON experiment spec (required)")
+	measure := fs.Duration("measure", 12*time.Millisecond, "simulated measurement window")
+	warmup := fs.Duration("warmup", 3*time.Millisecond, "simulated warmup before measuring")
+	seeds := fs.Int("seeds", 3, "number of seeds to average (paper: 3 runs)")
+	parallel := fs.Int("parallel", 0, "scenario worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	format := fs.String("format", "text", "output format: text, csv or jsonl")
+	out := fs.String("out", "", "output file (default stdout)")
+	generic := fs.Bool("generic", false, "force the generic one-row-per-point layout even for registered ids")
+	must(fs.Parse(args))
+	if *specPath == "" {
+		fatal(fmt.Errorf("run: -spec is required"))
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := experiments.ParseSpec(data)
+	if err != nil {
+		fatal(err)
+	}
 	opts := experiments.Options{
-		Measure:  units.Duration(duration.Nanoseconds()) * units.Nanosecond,
+		Measure:  units.Duration(measure.Nanoseconds()) * units.Nanosecond,
+		Warmup:   units.Duration(warmup.Nanoseconds()) * units.Nanosecond,
 		Parallel: *parallel,
 	}
-	for r := 0; r < *runs; r++ {
-		opts.Seeds = append(opts.Seeds, *seed+uint64(r))
+	for s := 1; s <= *seeds; s++ {
+		opts.Seeds = append(opts.Seeds, uint64(s))
+	}
+	var tbl *experiments.Table
+	if *generic {
+		// Bypass the registry's layout but keep the spec's identity, so
+		// downstream tooling keying on the id still sees it.
+		id := spec.ID
+		if id == "" {
+			id = "custom"
+		}
+		tbl, err = experiments.RunSpec(experiments.Definition{ID: id, Title: spec.Title, Spec: spec}, opts)
+	} else {
+		tbl, err = experiments.RunSpecGeneric(spec, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var sink experiments.Sink
+	switch *format {
+	case "text":
+		sink = experiments.NewTextSink(w)
+	case "csv":
+		sink = experiments.NewCSVSink(w)
+	case "jsonl":
+		sink = experiments.NewJSONLSink(w)
+	default:
+		fatal(fmt.Errorf("run: format %q unknown (valid: text, csv, jsonl)", *format))
+	}
+	if err := tbl.Emit(sink); err != nil {
+		fatal(err)
+	}
+}
+
+// --- ibsim export -----------------------------------------------------------
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("ibsim export", flag.ExitOnError)
+	id := fs.String("id", "", "registered experiment id (see `ibsim list`)")
+	out := fs.String("out", "", "output file (default stdout)")
+	must(fs.Parse(args))
+	d, ok := experiments.Lookup(*id)
+	if !ok {
+		fatal(fmt.Errorf("export: unknown experiment %q (valid: %s)", *id, strings.Join(experiments.IDs(), ", ")))
+	}
+	data, err := d.Spec.MarshalIndent()
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// --- playground -------------------------------------------------------------
+
+// playgroundConfig holds the playground's flag targets.
+type playgroundConfig struct {
+	profile, topo, policy         string
+	leaves, hosts, spines, trunks int
+	qos, pretend                  bool
+	bsgs                          int
+	bsgPayload                    int64
+	duration                      time.Duration
+	seed                          uint64
+	runs, parallel                int
+}
+
+// playgroundFlags builds the flag set. -topology is a true alias of -topo:
+// both write the same variable, and the custom usage prints the pair as
+// one entry instead of two independent flags.
+func playgroundFlags() (*flag.FlagSet, *playgroundConfig) {
+	fs := flag.NewFlagSet("ibsim", flag.ExitOnError)
+	cfg := &playgroundConfig{}
+	fs.StringVar(&cfg.profile, "profile", "hw", "parameter profile: hw (SX6012) or sim (OMNeT-like)")
+	fs.StringVar(&cfg.topo, "topo", "star", "fabric shape: "+strings.Join(topology.Kinds(), ", "))
+	fs.StringVar(&cfg.topo, "topology", "star", "alias for -topo")
+	fs.IntVar(&cfg.leaves, "leaves", 3, "fattree: number of leaf switches")
+	fs.IntVar(&cfg.hosts, "hosts", 4, "fattree: hosts per leaf")
+	fs.IntVar(&cfg.spines, "spines", 2, "fattree: number of spine switches")
+	fs.IntVar(&cfg.trunks, "trunks", 1, "fattree: parallel cables per leaf-spine pair")
+	fs.StringVar(&cfg.policy, "policy", "fcfs", "scheduling policy: "+strings.Join(ibswitch.PolicyNames(), ", "))
+	fs.BoolVar(&cfg.qos, "qos", false, "dedicated SL/VL QoS (maps SL1 to high-priority VL1)")
+	fs.IntVar(&cfg.bsgs, "bsgs", 5, "bulk generators")
+	fs.Int64Var(&cfg.bsgPayload, "bsg-payload", 4096, "bulk message size")
+	fs.BoolVar(&cfg.pretend, "pretend", false, "replace one BSG with a pretend-LSG (requires -qos)")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Millisecond, "simulated run length")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "random seed of the first run")
+	fs.IntVar(&cfg.runs, "runs", 1, "number of seeded runs to average")
+	fs.IntVar(&cfg.parallel, "parallel", 0, "worker pool size for the runs (0 = GOMAXPROCS, 1 = sequential)")
+
+	aliases := map[string]bool{"topology": true}
+	fs.Usage = func() {
+		w := fs.Output()
+		fmt.Fprintln(w, "Usage:")
+		fmt.Fprintln(w, "  ibsim list                      list registered experiments")
+		fmt.Fprintln(w, "  ibsim run -spec file.json ...   run a declarative JSON experiment spec")
+		fmt.Fprintln(w, "  ibsim export -id fig7a ...      write a registered spec as JSON")
+		fmt.Fprintln(w, "  ibsim [flags]                   playground: one converged scenario")
+		fmt.Fprintln(w, "\nPlayground flags:")
+		fs.VisitAll(func(f *flag.Flag) {
+			if aliases[f.Name] {
+				return
+			}
+			name := f.Name
+			if name == "topo" {
+				name = "topo, -topology" // one entry for the alias pair
+			}
+			fmt.Fprintf(w, "  -%s\n    \t%s (default %q)\n", name, f.Usage, f.DefValue)
+		})
+	}
+	return fs, cfg
+}
+
+func playground(args []string) {
+	fs, cfg := playgroundFlags()
+	must(fs.Parse(args))
+
+	kind, err := topology.ParseKind(cfg.topo)
+	if err != nil {
+		fatal(err)
+	}
+	tspec := topology.Spec{Kind: kind}
+	maxBSGs := 5 // the legacy topologies expose five bulk-source slots
+	if kind == topology.KindFatTree {
+		ft := topology.FatTreeSpec{
+			Leaves:       cfg.leaves,
+			HostsPerLeaf: cfg.hosts,
+			Spines:       cfg.spines,
+			Trunks:       cfg.trunks,
+		}
+		if err := ft.Validate(); err != nil {
+			fatal(err)
+		}
+		tspec = topology.SpecFatTree(ft)
+		maxBSGs = ft.NumHosts() - 2 // minus the probe and the drain host
+	}
+	if kind == topology.KindBackToBack {
+		maxBSGs = 1
 	}
 
-	results, err := experiments.RunSeeds(sc, opts)
+	p := experiments.Point{
+		Profile:  cfg.profile,
+		Topology: tspec,
+		Policy:   cfg.policy,
+	}
+	var bsgSL, lsgSL uint8
+	if cfg.qos {
+		p.QoS = experiments.QoSDedicated
+		p.Policy = "vlarb"
+		bsgSL, lsgSL = 0, 1
+	}
+	bsgs := cfg.bsgs
+	if bsgs > maxBSGs {
+		bsgs = maxBSGs
+	}
+	if cfg.pretend && bsgs > 0 {
+		bsgs-- // the pretend LSG takes the last bulk-source slot
+	}
+	p.Workload = experiments.Workload{
+		{Kind: experiments.GroupBSG, Count: bsgs, Payload: cfg.bsgPayload, SL: bsgSL},
+	}
+	if cfg.pretend {
+		p.Workload = append(p.Workload, experiments.Group{Kind: experiments.GroupPretend, SL: lsgSL})
+	}
+	p.Workload = append(p.Workload, experiments.Group{Kind: experiments.GroupLSG, SL: lsgSL})
+
+	opts := experiments.Options{
+		Measure:  units.Duration(cfg.duration.Nanoseconds()) * units.Nanosecond,
+		Parallel: cfg.parallel,
+	}
+	for r := 0; r < cfg.runs; r++ {
+		opts.Seeds = append(opts.Seeds, cfg.seed+uint64(r))
+	}
+
+	results, err := experiments.RunSeeds(p, opts)
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("ibsim: profile=%s topology=%s policy=%s qos=%v runs=%d\n",
-		*profile, *topo, sc.Policy, *qos, *runs)
+		cfg.profile, cfg.topo, p.Policy, cfg.qos, cfg.runs)
 	var meds, tails, totals []float64
 	for i, res := range results {
-		printRun(fmt.Sprintf("seed %d", opts.Seeds[i]), res, sc.Pretend)
+		printRun(fmt.Sprintf("seed %d", opts.Seeds[i]), res, cfg.pretend)
 		s := res.LSG
 		meds = append(meds, s.Median.Microseconds())
 		tails = append(tails, s.P999.Microseconds())
@@ -165,6 +344,12 @@ func printRun(name string, res experiments.Result, pretend bool) {
 		fmt.Printf("  pretend-LSG goodput: %.2fGbps\n", res.Pretend)
 	}
 	fmt.Printf("  total bulk goodput: %.1fGbps of 56Gbps\n", res.Total)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,56 @@
+// Custom spec: run a user-authored JSON scenario end to end.
+//
+// The experiment layer is declarative: a Spec names a topology, a workload
+// of traffic groups, sweep axes and the metrics to collect, and one
+// generic engine executes it — the paper's figures are just registered
+// specs with a table layout attached. That means a scenario nobody
+// compiled in (here: five bulk senders incast on a fat-tree drain port
+// while the latency probe rides a DISJOINT spine path, swept across bulk
+// payload sizes) is a JSON file, not a Go change:
+//
+//	ibsim run -spec examples/customspec/spec.json
+//
+// This example does the same through the library facade: parse, run,
+// render — first as the aligned text table, then streamed as JSON lines
+// for downstream tooling.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+//go:embed spec.json
+var specJSON []byte
+
+func main() {
+	spec, err := repro.ParseExperimentSpec(specJSON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded spec %q: %d axis(es), collecting %v\n\n", spec.ID, len(spec.Sweep), spec.Collect)
+
+	// Short windows keep the example snappy; drop the overrides for the
+	// paper's full three-run protocol.
+	opts := repro.QuickExperimentOptions()
+
+	tbl, err := repro.RunExperimentSpec(spec, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tbl)
+
+	fmt.Println("\nthe same table as JSON lines:")
+	if err := tbl.Emit(repro.NewJSONLSink(os.Stdout)); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nreading: the disjoint-spine probe holds near-zero-load RTT at every")
+	fmt.Println("bulk payload — congestion lives in per-port VL buffers its packets")
+	fmt.Println("never visit. Re-aim the probe at node 8 (the drain) in spec.json and")
+	fmt.Println("watch the medians climb to the paper's Fig. 7a values.")
+}

@@ -7,18 +7,20 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/model"
+	"repro/internal/topology"
 	"repro/internal/units"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // The determinism contract (DESIGN.md): a sweep is a pure function of
-// (scenario list, options, seeds), no matter how many workers run it. The
-// tests below lock that down three ways — sequential runs repeat exactly,
+// (spec, options, seeds), no matter how many workers run it. The tests
+// below lock that down three ways — sequential runs repeat exactly,
 // parallel runs reproduce the sequential bytes, and both match a golden
 // file committed under testdata/ so unintentional model drift shows up as
-// a diff, not as silent reinterpretation.
+// a diff, not as silent reinterpretation. The golden sweeps run through
+// the same declarative Spec engine as every figure, so the goldens also
+// lock the engine's enumeration and reduction order.
 
 // goldenOpts is a trimmed Fig. 7a protocol: two seeds, short windows, so
 // the sweep stays fast enough to run three times per test (and under
@@ -32,32 +34,37 @@ func goldenOpts(parallel int) Options {
 	}
 }
 
-// goldenSweep renders a fig7a-style converged-traffic sweep (LSG RTT and
-// bulk goodput vs BSG count) as a formatted table.
-func goldenSweep(opts Options) (string, error) {
-	var scs []Scenario
-	for n := 0; n <= 3; n++ {
-		scs = append(scs, Scenario{
-			Fabric:   model.HWTestbed(),
-			Topo:     TopoStar,
-			NumBSGs:  n,
-			BSGBytes: 4096,
-			LSG:      true,
-		})
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return "", err
-	}
-	t := &Table{
+// goldenDefinition is a fig7a-style converged-traffic sweep (LSG RTT and
+// bulk goodput vs BSG count) expressed as a declarative Spec.
+func goldenDefinition() Definition {
+	return Definition{
 		ID:      "fig7a-golden",
 		Title:   "Determinism golden: LSG RTT and total goodput vs number of BSGs",
 		Columns: []string{"num_bsgs", "p50_us", "p999_us", "total_gbps", "samples"},
+		Spec: Spec{
+			Base: &Point{
+				Topology: topology.SpecStar,
+				Workload: Workload{
+					{Kind: GroupBSG, Count: 3, Payload: 4096},
+					{Kind: GroupLSG},
+				},
+			},
+			Sweep:   []Axis{{Field: AxisBSGs, Counts: intRange(0, 3)}},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us", "bulk_total_gbps", "lsg_samples"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs), f2(pr.M.TotalGbps), fmt.Sprint(pr.M.LSGSamples)}
+		}),
 	}
-	for n, a := range as {
-		t.AddRow(fmt.Sprint(n), f2(a.MedianUs), f2(a.TailUs), f2(a.Total), fmt.Sprint(a.Samples))
+}
+
+// goldenSweep renders the sweep as a formatted table.
+func goldenSweep(opts Options) (string, error) {
+	tbl, err := RunSpec(goldenDefinition(), opts)
+	if err != nil {
+		return "", err
 	}
-	return t.String(), nil
+	return tbl.String(), nil
 }
 
 // incastGoldenSweep renders the fat-tree incast sweep (three fabric sizes
@@ -65,7 +72,7 @@ func goldenSweep(opts Options) (string, error) {
 // fig7a golden, locking the fabric generator's wiring, routing derivation
 // and the runner's parallel determinism in one artifact.
 func incastGoldenSweep(opts Options) (string, error) {
-	tbl, err := IncastSweep(opts)
+	tbl, err := RunID("incast", opts)
 	if err != nil {
 		return "", err
 	}

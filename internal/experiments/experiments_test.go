@@ -9,6 +9,16 @@ import (
 	"repro/internal/units"
 )
 
+// runQuick runs a registered experiment at smoke-test scale.
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	tbl, err := RunID(id, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
 // cell parses a numeric table cell.
 func cell(t *testing.T, tbl *Table, row, col int) float64 {
 	t.Helper()
@@ -20,10 +30,7 @@ func cell(t *testing.T, tbl *Table, row, col int) float64 {
 }
 
 func TestFig4Shape(t *testing.T) {
-	tbl, err := Fig4(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "fig4")
 	if len(tbl.Rows) != len(PayloadSweep) {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -48,10 +55,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	tbl, err := Fig5(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "fig5")
 	// 64 B ~4.1 Gb/s; 4096 B ~52 Gb/s; monotone growth.
 	if g := cell(t, tbl, 0, 1); g < 3.7 || g > 4.5 {
 		t.Errorf("64B goodput = %.1f", g)
@@ -68,10 +72,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	tbl, err := Fig6(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "fig6")
 	// Perftest ~2.2 us at 64 B, growing with payload; qperf above
 	// perftest at both ends; all an order of magnitude above RPerf.
 	p64 := cell(t, tbl, 0, 1)
@@ -89,10 +90,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7aShape(t *testing.T) {
-	tbl, err := Fig7a(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "fig7a")
 	// Monotone growth; ~5 us per BSG after the first.
 	prev := -1.0
 	for r := range tbl.Rows {
@@ -111,10 +109,7 @@ func TestFig7aShape(t *testing.T) {
 }
 
 func TestFig7bShape(t *testing.T) {
-	tbl, err := Fig7b(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "fig7b")
 	g1 := cell(t, tbl, 0, 1)
 	g5 := cell(t, tbl, 4, 1)
 	if g1 < 49.5 || g1 > 54 {
@@ -128,10 +123,7 @@ func TestFig7bShape(t *testing.T) {
 }
 
 func TestEq2Table(t *testing.T) {
-	tbl, err := Eq2(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "eq2")
 	// The frozen-occupancy model should track simulation much better than
 	// the Eq. 2 bound at low BSG counts.
 	model2 := cell(t, tbl, 1, 2)
@@ -143,10 +135,7 @@ func TestEq2Table(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	tbl, err := Fig10(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "fig10")
 	// FCFS at 5 BSGs ~18 us; RR much lower (~2.5 us); simulator profile
 	// has median ~= tail.
 	f5 := cell(t, tbl, 5, 1)
@@ -164,10 +153,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
-	tbl, err := Fig11(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "fig11")
 	fcfs := cell(t, tbl, 0, 1)
 	rr := cell(t, tbl, 1, 1)
 	// The headline: RR no longer protects the LSG once it shares a link
@@ -181,10 +167,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	tbl, err := Fig12(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "fig12")
 	noBSG := cell(t, tbl, 0, 1)
 	shared := cell(t, tbl, 1, 1)
 	dedicated := cell(t, tbl, 2, 1)
@@ -212,10 +195,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
-	tbl, err := Fig13(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "fig13")
 	// Row 0: dedicated+pretend — the pretend flow takes ~3x a fair BSG's
 	// share. Row 1: shared SL, ~9.7 Gb/s each.
 	pretendG := cell(t, tbl, 0, 5)
@@ -281,10 +261,7 @@ func abs(x float64) float64 {
 }
 
 func TestIncastSweepShape(t *testing.T) {
-	tbl, err := IncastSweep(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "incast")
 	if want := len(IncastFabrics) * len(IncastDepths); len(tbl.Rows) != want {
 		t.Fatalf("rows = %d, want %d", len(tbl.Rows), want)
 	}
@@ -308,10 +285,7 @@ func TestIncastSweepShape(t *testing.T) {
 }
 
 func TestAllToAllShape(t *testing.T) {
-	tbl, err := AllToAll(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "alltoall")
 	// Aggregate goodput must grow with fabric size/spine count, and
 	// fairness must stay a valid ratio.
 	prev := 0.0
@@ -332,10 +306,7 @@ func TestAllToAllShape(t *testing.T) {
 }
 
 func TestCrossSpineMixShape(t *testing.T) {
-	tbl, err := CrossSpineMix(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "crossspine")
 	// Rows: shared-port at 3 depths, then disjoint-spine at 3 depths.
 	sharedDeep := cell(t, tbl, 2, 2)
 	disjointShallow := cell(t, tbl, 3, 2)

@@ -1,9 +1,10 @@
 package experiments
 
 import (
-	"repro/internal/ib"
-	"repro/internal/ibswitch"
+	"fmt"
+
 	"repro/internal/model"
+	"repro/internal/topology"
 	"repro/internal/units"
 )
 
@@ -11,15 +12,17 @@ import (
 // performance isolation in a mixed traffic environment" (§IX) and sketches
 // two candidates it could not evaluate on its fixed-function switch:
 // a size-aware "fair" scheduling policy (§VIII-B) and per-SL/VL bandwidth
-// limits (§VIII-C). The two experiments below implement both and test them
-// against the paper's own failure cases.
+// limits (§VIII-C). The two registry entries below implement both and test
+// them against the paper's own failure cases.
 
-// ExtSPF evaluates the shortest-packet-first policy — an approximation of
-// the paper's proportional-fairness sketch — on the single-hop converged
-// setup (where RR already worked) and on the multi-hop topology (where RR
-// failed).
-func ExtSPF(opts Options) (*Table, error) {
-	t := &Table{
+func registerExtensions() {
+	// ext-spf evaluates the shortest-packet-first policy — an
+	// approximation of the paper's proportional-fairness sketch — on the
+	// single-hop converged setup (where RR already worked) and on the
+	// multi-hop topology (where RR failed).
+	hopNames := []string{"single-hop", "multi-hop"}
+	policies := []string{"fcfs", "rr", "spf"}
+	Register(Definition{
 		ID:      "ext-spf",
 		Title:   "Extension: shortest-packet-first vs FCFS/RR (LSG RTT us, total BSG Gb/s)",
 		Columns: []string{"topology", "policy", "lsg_p50_us", "lsg_p999_us", "bsg_total_gbps"},
@@ -27,47 +30,53 @@ func ExtSPF(opts Options) (*Table, error) {
 			"SPF approximates the paper's §VIII-B fairness sketch: service time proportional to flow size",
 			"single-hop: SPF protects the LSG like RR; multi-hop: it fails the same way (shared-link HOL)",
 		},
-	}
-	topos := []struct {
-		name string
-		t    Topology
-	}{{"single-hop", TopoStar}, {"multi-hop", TopoTwoTier}}
-	policies := []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR, ibswitch.SPF}
-	var scs []Scenario
-	for _, topo := range topos {
-		for _, pol := range policies {
-			scs = append(scs, Scenario{
-				Fabric:   model.OMNeTSim(),
-				Topo:     topo.t,
-				Policy:   pol,
-				NumBSGs:  5,
-				BSGBytes: 4096,
-				LSG:      true,
-			})
-		}
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for ti, topo := range topos {
-		for pi, pol := range policies {
-			a := as[ti*len(policies)+pi]
-			t.AddRow(topo.name, pol.String(), f2(a.MedianUs), f2(a.TailUs), f2(a.Total))
-		}
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Base: &Point{
+				Profile:  model.ProfileSim,
+				Topology: topology.SpecStar,
+				Workload: Workload{
+					{Kind: GroupBSG, Count: 5, Payload: 4096},
+					{Kind: GroupLSG},
+				},
+			},
+			Sweep: []Axis{
+				{Field: AxisTopology, Topologies: []topology.Spec{topology.SpecStar, topology.SpecTwoTier}},
+				{Field: AxisPolicy, Policies: policies},
+			},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us", "bulk_total_gbps"},
+		},
+		Reduce: func(t *Table, pts []PointResult) error {
+			if len(pts) != len(hopNames)*len(policies) {
+				return fmt.Errorf("experiments: ext-spf expects %d points, got %d", len(hopNames)*len(policies), len(pts))
+			}
+			for i, pr := range pts {
+				t.AddRow(hopNames[i/len(policies)], pr.Labels[1],
+					f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs), f2(pr.M.TotalGbps))
+			}
+			return nil
+		},
+	})
 
-// ExtRateLimit evaluates the per-VL bandwidth cap against the QoS-gaming
-// attack of §VIII-C. The cap stops the pretend-LSG from stealing bandwidth
-// and restores the honest BSGs' shares. The real probe's median survives
-// because its small packets fit through throttle gaps the gamer's larger
-// batched messages cannot use — but its tail inflates several-fold, the
-// direction of the paper's warning; a bursty latency flow (deeper than the
-// bucket) would pay the full predicted penalty.
-func ExtRateLimit(opts Options) (*Table, error) {
-	t := &Table{
+	// ext-ratelimit evaluates the per-VL bandwidth cap against the
+	// QoS-gaming attack of §VIII-C. The cap stops the pretend-LSG from
+	// stealing bandwidth and restores the honest BSGs' shares. The real
+	// probe's median survives because its small packets fit through
+	// throttle gaps the gamer's larger batched messages cannot use — but
+	// its tail inflates several-fold, the direction of the paper's
+	// warning; a bursty latency flow (deeper than the bucket) would pay
+	// the full predicted penalty.
+	capped := func(gbps float64) Point {
+		return Point{
+			Topology: topology.SpecStar, Policy: "vlarb", QoS: QoSDedicated,
+			VL1RateLimitGbps: gbps,
+			Workload: Workload{
+				{Kind: GroupBSG, Count: 4, Payload: 4096},
+				{Kind: GroupPretend, SL: 1},
+				{Kind: GroupLSG, SL: 1},
+			},
+		}
+	}
+	Register(Definition{
 		ID:      "ext-ratelimit",
 		Title:   "Extension: per-VL rate limit vs QoS gaming (Fig. 12/13 setup)",
 		Columns: []string{"vl1_cap", "real_lsg_p50_us", "real_lsg_p999_us", "pretend_gbps", "honest_bsg_gbps"},
@@ -75,33 +84,20 @@ func ExtRateLimit(opts Options) (*Table, error) {
 			"cap applies to VL1, the latency-sensitive lane the pretend-LSG abuses",
 			"the cap prevents the bandwidth theft; the real LSG's tail inflates (paper §VIII-C's warning), and bursts deeper than the bucket would pay more",
 		},
-	}
-	arb := ib.DedicatedVLArb()
-	caps := []units.Bandwidth{0, 10 * units.Gbps, 5 * units.Gbps}
-	var scs []Scenario
-	for _, cap := range caps {
-		scs = append(scs, Scenario{
-			Fabric: model.HWTestbed(), Topo: TopoStar,
-			Policy: ibswitch.VLArb, SL2VL: ib.DedicatedSL2VL(), VLArb: &arb,
-			NumBSGs: 4, BSGBytes: 4096, BSGSL: 0,
-			LSG: true, LSGSL: 1, Pretend: true,
-			VL1RateLimit: cap,
-		})
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for i, a := range as {
-		label := "none"
-		if caps[i] > 0 {
-			label = caps[i].String()
-		}
-		var honest float64
-		for _, g := range a.BSGGbps {
-			honest += g
-		}
-		t.AddRow(label, f2(a.MedianUs), f2(a.TailUs), f2(a.Pretend), f2(honest))
-	}
-	return t, nil
+		Spec: Spec{
+			Sweep: []Axis{{Field: AxisVariant, Variants: []Variant{
+				{Name: "none", Point: capped(0)},
+				{Name: (10 * units.Gbps).String(), Point: capped(10)},
+				{Name: (5 * units.Gbps).String(), Point: capped(5)},
+			}}},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us", "pretend_gbps", "bulk_total_gbps"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			var honest float64
+			for _, g := range pr.M.BSGGbps {
+				honest += g
+			}
+			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs), f2(pr.M.PretendGbps), f2(honest)}
+		}),
+	})
 }

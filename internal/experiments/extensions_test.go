@@ -3,10 +3,7 @@ package experiments
 import "testing"
 
 func TestExtSPFShape(t *testing.T) {
-	tbl, err := ExtSPF(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "ext-spf")
 	if len(tbl.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -33,10 +30,7 @@ func TestExtSPFShape(t *testing.T) {
 }
 
 func TestExtRateLimitShape(t *testing.T) {
-	tbl, err := ExtRateLimit(Quick())
-	if err != nil {
-		t.Fatal(err)
-	}
+	tbl := runQuick(t, "ext-ratelimit")
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}

@@ -2,535 +2,360 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/analytic"
-	"repro/internal/core"
-	"repro/internal/host"
-	"repro/internal/ib"
-	"repro/internal/ibswitch"
 	"repro/internal/model"
-	"repro/internal/stats"
-	"repro/internal/tools"
 	"repro/internal/topology"
-	"repro/internal/units"
 )
 
-// Every figure below follows the same shape: enumerate the sweep as a flat
-// list of jobs, fan the jobs across the runner's worker pool (runner.go),
-// then assemble rows sequentially in sweep order. The assembly step is the
-// only place results are combined, so tables come out byte-identical no
-// matter how many workers ran the jobs.
+// The paper's figures as registry entries. Each is a declarative Spec (the
+// grid that runs) plus a small ReduceFunc (the exact row layout of the
+// published table). The reduce functions receive point results in grid
+// order, so parallel sweeps assemble byte-identical tables — the goldens
+// under testdata/ lock this.
 
-// rperfOne runs a single-seed RPerf session over an otherwise idle fabric
-// and returns the median and tail RTT in nanoseconds.
-func rperfOne(topo Topology, fab model.FabricParams, payload units.ByteSize, opts Options, seed uint64) (medNs, tailNs float64, err error) {
-	var c *topology.Cluster
-	var dst ib.NodeID
-	switch topo {
-	case TopoBackToBack:
-		c = topology.BackToBack(fab, seed)
-		dst = 1
-	default:
-		c = topology.Star(fab, 7, seed)
-		dst = 6
+// ptr is a literal-friendly int pointer for Group.Src/Dst overrides.
+func ptr(i int) *int { return &i }
+
+// intRange returns [lo, hi] inclusive.
+func intRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for n := lo; n <= hi; n++ {
+		out = append(out, n)
 	}
-	s, err := core.New(c.NIC(0), dst, core.Config{
-		Payload: payload,
-		Warmup:  opts.start(),
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	s.Start()
-	c.Eng.RunUntil(opts.end())
-	sum := s.Summary()
-	return sum.Median.Nanoseconds(), sum.P999.Nanoseconds(), nil
+	return out
 }
 
-// Fig4 regenerates Figure 4: RPerf RTT for different payload sizes, with
-// and without the switch, median and 99.9th percentile.
-func Fig4(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig4",
+// rowReduce renders one row per point: every axis label, then the cells
+// returned for the point.
+func rowReduce(cells func(i int, pr PointResult) []string) ReduceFunc {
+	return func(t *Table, pts []PointResult) error {
+		for i, pr := range pts {
+			t.AddRow(append(append([]string(nil), pr.Labels...), cells(i, pr)...)...)
+		}
+		return nil
+	}
+}
+
+// wideReduce renders one row per outer-axis value, unrolling the innermost
+// axis (length inner) into repeated cell groups — the classic "one column
+// pair per policy/topology" layout.
+func wideReduce(inner int, cells func(pr PointResult) []string) ReduceFunc {
+	return func(t *Table, pts []PointResult) error {
+		if inner <= 0 || len(pts)%inner != 0 {
+			return fmt.Errorf("experiments: wide layout needs a multiple of %d points, got %d (was the sweep edited? drop the registered id for the generic layout)", inner, len(pts))
+		}
+		for base := 0; base < len(pts); base += inner {
+			row := []string{pts[base].Labels[0]}
+			for i := 0; i < inner; i++ {
+				row = append(row, cells(pts[base+i])...)
+			}
+			t.AddRow(row...)
+		}
+		return nil
+	}
+}
+
+// starPoint is the paper's rack with the given workload, hardware profile.
+func starPoint(w Workload) Point {
+	return Point{Topology: topology.SpecStar, Workload: w}
+}
+
+func registerFigures() {
+	bothEnds := []topology.Spec{topology.SpecBackToBack, topology.SpecStar}
+
+	// Figure 4: RPerf RTT for different payload sizes, with and without
+	// the switch, median and 99.9th percentile.
+	Register(Definition{
+		ID: "fig4", Paper: true,
 		Title:   "RPerf RTT vs payload, with and without the switch (ns)",
 		Columns: []string{"payload_B", "p50_noswitch_ns", "p999_noswitch_ns", "p50_switch_ns", "p999_switch_ns"},
-	}
-	topos := []Topology{TopoBackToBack, TopoStar}
-	seeds := len(opts.Seeds)
-	type sample struct{ med, tail float64 }
-	// Jobs: payload-major, then topology, then seed.
-	samples, err := mapOrdered(len(PayloadSweep)*len(topos)*seeds, opts.workers(), func(i int) (sample, error) {
-		si := i % seeds
-		ti := (i / seeds) % len(topos)
-		pi := i / (seeds * len(topos))
-		med, tail, err := rperfOne(topos[ti], model.HWTestbed(), PayloadSweep[pi], opts, opts.Seeds[si])
-		return sample{med, tail}, err
+		Spec: Spec{
+			Base: &Point{Topology: topology.SpecBackToBack, Workload: Workload{{Kind: GroupRPerf, Payload: 64}}},
+			Sweep: []Axis{
+				{Field: AxisPayload, Payloads: PayloadSweep},
+				{Field: AxisTopology, Topologies: bothEnds},
+			},
+			Collect: []string{"rperf_p50_ns", "rperf_p999_ns"},
+		},
+		Reduce: wideReduce(2, func(pr PointResult) []string {
+			return []string{f1(pr.M.RPerfMedNs), f1(pr.M.RPerfTailNs)}
+		}),
 	})
-	if err != nil {
-		return nil, err
-	}
-	for pi, p := range PayloadSweep {
-		row := []string{fmt.Sprint(p)}
-		for ti := range topos {
-			base := (pi*len(topos) + ti) * seeds
-			var meds, tails []float64
-			for s := 0; s < seeds; s++ {
-				meds = append(meds, samples[base+s].med)
-				tails = append(tails, samples[base+s].tail)
-			}
-			row = append(row, f1(stats.Mean(meds)), f1(stats.Mean(tails)))
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
-}
 
-// Fig5 regenerates Figure 5: one-to-one BSG bandwidth vs payload, with and
-// without the switch.
-func Fig5(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig5",
+	// Figure 5: one-to-one BSG bandwidth vs payload, with and without the
+	// switch.
+	Register(Definition{
+		ID: "fig5", Paper: true,
 		Title:   "One-to-one bandwidth vs payload (Gb/s)",
 		Columns: []string{"payload_B", "noswitch_gbps", "switch_gbps"},
-	}
-	topos := []Topology{TopoBackToBack, TopoStar}
-	var scs []Scenario
-	for _, p := range PayloadSweep {
-		for _, topo := range topos {
-			scs = append(scs, Scenario{
-				Fabric:   model.HWTestbed(),
-				Topo:     topo,
-				NumBSGs:  1,
-				BSGBytes: p,
-			})
-		}
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for pi, p := range PayloadSweep {
-		row := []string{fmt.Sprint(p)}
-		for ti := range topos {
-			row = append(row, f2(as[pi*len(topos)+ti].Total))
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Base: &Point{Topology: topology.SpecBackToBack, Workload: Workload{{Kind: GroupBSG, Count: 1, Payload: 4096}}},
+			Sweep: []Axis{
+				{Field: AxisPayload, Payloads: PayloadSweep},
+				{Field: AxisTopology, Topologies: bothEnds},
+			},
+			Collect: []string{"bulk_total_gbps"},
+		},
+		Reduce: wideReduce(2, func(pr PointResult) []string {
+			return []string{f2(pr.M.TotalGbps)}
+		}),
+	})
 
-// fig6Sample is one seed's Perftest/Qperf measurement at one payload.
-type fig6Sample struct{ pm, pt, qm float64 }
-
-func fig6One(payload units.ByteSize, opts Options, seed uint64) (fig6Sample, error) {
-	c := topology.Star(model.HWTestbed(), 7, seed)
-	client := host.New(c.NIC(0), c.Params.Host)
-	server := host.New(c.NIC(6), c.Params.Host)
-	pf, err := tools.NewPerftest(client, server, payload, opts.start())
-	if err != nil {
-		return fig6Sample{}, err
-	}
-	client2 := host.New(c.NIC(1), c.Params.Host)
-	qp, err := tools.NewQperf(client2, server, payload, opts.start())
-	if err != nil {
-		return fig6Sample{}, err
-	}
-	pf.Start()
-	qp.Start()
-	c.Eng.RunUntil(opts.end())
-	return fig6Sample{
-		pm: units.Duration(pf.RTT().Median()).Microseconds(),
-		pt: units.Duration(pf.RTT().P999()).Microseconds(),
-		qm: qp.MeanRTT().Microseconds(),
-	}, nil
-}
-
-// Fig6 regenerates Figure 6: end-to-end RTT reported by Perftest (median +
-// tail) and Qperf (mean only) through the switch.
-func Fig6(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig6",
+	// Figure 6: end-to-end RTT reported by Perftest (median + tail) and
+	// Qperf (mean only) through the switch.
+	Register(Definition{
+		ID: "fig6", Paper: true,
 		Title:   "Perftest and Qperf end-to-end RTT through the switch (us)",
 		Columns: []string{"payload_B", "perftest_p50_us", "perftest_p999_us", "qperf_mean_us"},
 		Notes:   []string{"qperf does not report tail latency (paper §III)"},
-	}
-	seeds := len(opts.Seeds)
-	samples, err := mapOrdered(len(PayloadSweep)*seeds, opts.workers(), func(i int) (fig6Sample, error) {
-		return fig6One(PayloadSweep[i/seeds], opts, opts.Seeds[i%seeds])
+		Spec: Spec{
+			Base: &fig6Base,
+			Sweep: []Axis{
+				{Field: AxisPayload, Payloads: PayloadSweep},
+			},
+			Collect: []string{"perftest_p50_us", "perftest_p999_us", "qperf_mean_us"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			return []string{f2(pr.M.PerftestP50Us), f2(pr.M.PerftestP999Us), f2(pr.M.QperfMeanUs)}
+		}),
 	})
-	if err != nil {
-		return nil, err
-	}
-	for pi, p := range PayloadSweep {
-		var pm, pt, qm []float64
-		for s := 0; s < seeds; s++ {
-			smp := samples[pi*seeds+s]
-			pm = append(pm, smp.pm)
-			pt = append(pt, smp.pt)
-			qm = append(qm, smp.qm)
-		}
-		t.AddRow(fmt.Sprint(p), f2(stats.Mean(pm)), f2(stats.Mean(pt)), f2(stats.Mean(qm)))
-	}
-	return t, nil
-}
 
-// Fig7a regenerates Figure 7a: LSG RTT vs the number of 4096 B BSGs on the
-// hardware profile.
-func Fig7a(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig7a",
+	// Figure 7a: LSG RTT vs the number of 4096 B BSGs on the hardware
+	// profile.
+	Register(Definition{
+		ID: "fig7a", Paper: true,
 		Title:   "Converged traffic: LSG RTT vs number of BSGs (us)",
 		Columns: []string{"num_bsgs", "p50_us", "p999_us"},
-	}
-	var scs []Scenario
-	for n := 0; n <= 5; n++ {
-		scs = append(scs, Scenario{
-			Fabric:   model.HWTestbed(),
-			Topo:     TopoStar,
-			NumBSGs:  n,
-			BSGBytes: 4096,
-			LSG:      true,
-		})
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for n, a := range as {
-		t.AddRow(fmt.Sprint(n), f2(a.MedianUs), f2(a.TailUs))
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Base:    &convergedStar,
+			Sweep:   []Axis{{Field: AxisBSGs, Counts: intRange(0, 5)}},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs)}
+		}),
+	})
 
-// Fig7b regenerates Figure 7b: total BSG bandwidth vs the number of BSGs.
-func Fig7b(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig7b",
+	// Figure 7b: total BSG bandwidth vs the number of BSGs.
+	Register(Definition{
+		ID: "fig7b", Paper: true,
 		Title:   "Converged traffic: total BSG bandwidth vs number of BSGs (Gb/s)",
 		Columns: []string{"num_bsgs", "total_gbps", "per_bsg_min", "per_bsg_max"},
-	}
-	var scs []Scenario
-	for n := 1; n <= 5; n++ {
-		scs = append(scs, Scenario{
-			Fabric:   model.HWTestbed(),
-			Topo:     TopoStar,
-			NumBSGs:  n,
-			BSGBytes: 4096,
-		})
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for i, a := range as {
-		mn, mx := minMax(a.BSGGbps)
-		t.AddRow(fmt.Sprint(i+1), f2(a.Total), f2(mn), f2(mx))
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Base:    &Point{Topology: topology.SpecStar, Workload: Workload{{Kind: GroupBSG, Count: 5, Payload: 4096}}},
+			Sweep:   []Axis{{Field: AxisBSGs, Counts: intRange(1, 5)}},
+			Collect: []string{"bulk_total_gbps", "bulk_min_gbps", "bulk_max_gbps"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			mn, mx := minMax(pr.M.BSGGbps)
+			return []string{f2(pr.M.TotalGbps), f2(mn), f2(mx)}
+		}),
+	})
 
-// Fig8 regenerates Figure 8: LSG RTT as five BSGs sweep their payload size.
-func Fig8(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig8",
+	// Figure 8: LSG RTT as five BSGs sweep their payload size.
+	Register(Definition{
+		ID: "fig8", Paper: true,
 		Title:   "LSG RTT vs BSG payload size, five BSGs (us)",
 		Columns: []string{"bsg_payload_B", "p50_us", "p999_us"},
-	}
-	var scs []Scenario
-	for _, p := range PayloadSweep {
-		scs = append(scs, Scenario{
-			Fabric:   model.HWTestbed(),
-			Topo:     TopoStar,
-			NumBSGs:  5,
-			BSGBytes: p,
-			LSG:      true,
-		})
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for i, a := range as {
-		t.AddRow(fmt.Sprint(PayloadSweep[i]), f2(a.MedianUs), f2(a.TailUs))
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Base:    &convergedStar,
+			Sweep:   []Axis{{Field: AxisPayload, Payloads: PayloadSweep}},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs)}
+		}),
+	})
 
-// Fig9 regenerates Figure 9: total BSG bandwidth across the same sweep.
-func Fig9(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig9",
+	// Figure 9: total BSG bandwidth across the same sweep.
+	Register(Definition{
+		ID: "fig9", Paper: true,
 		Title:   "Total BSG bandwidth vs BSG payload size, five BSGs (Gb/s)",
 		Columns: []string{"bsg_payload_B", "total_gbps", "link_pct"},
-	}
-	var scs []Scenario
-	for _, p := range PayloadSweep {
-		scs = append(scs, Scenario{
-			Fabric:   model.HWTestbed(),
-			Topo:     TopoStar,
-			NumBSGs:  5,
-			BSGBytes: p,
-		})
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for i, a := range as {
-		t.AddRow(fmt.Sprint(PayloadSweep[i]), f2(a.Total), f1(a.Total/56*100))
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Base:    &Point{Topology: topology.SpecStar, Workload: Workload{{Kind: GroupBSG, Count: 5, Payload: 4096}}},
+			Sweep:   []Axis{{Field: AxisPayload, Payloads: PayloadSweep}},
+			Collect: []string{"bulk_total_gbps"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			return []string{f2(pr.M.TotalGbps), f1(pr.M.TotalGbps / 56 * 100)}
+		}),
+	})
 
-// Eq2 regenerates the paper's Equation 2 discussion (§VIII-B): the
-// waiting-time bound versus the frozen-occupancy prediction versus the
-// simulator's measurement, per BSG count.
-func Eq2(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "eq2",
+	// Equation 2 (§VIII-B): the waiting-time bound versus the
+	// frozen-occupancy prediction versus the simulator's measurement.
+	Register(Definition{
+		ID: "eq2", Paper: true,
 		Title:   "LSG waiting time: paper Eq.2 bound vs frozen-occupancy model vs simulation (us)",
 		Columns: []string{"num_bsgs", "eq2_us", "model_us", "simulated_us"},
 		Notes: []string{
 			"eq2 assumes permanently full buffers; the paper itself measures below it (§VIII-B)",
 			"simulated = median LSG RTT minus the ~0.43 us zero-load RTT, OMNeT profile",
 		},
-	}
-	fab := model.OMNeTSim()
-	var scs []Scenario
-	for n := 1; n <= 5; n++ {
-		scs = append(scs, Scenario{
-			Fabric:   fab,
-			Topo:     TopoStar,
-			NumBSGs:  n,
-			BSGBytes: 4096,
-			LSG:      true,
-		})
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for i, a := range as {
-		n := i + 1
-		eq2 := analytic.Eq2Wait(n, fab.Switch.VLWindow, fab.Link.Bandwidth)
-		cfg := analytic.ConvergedConfig{Fabric: fab, NumBSGs: n, BSGPayload: 4096}
-		pred := cfg.PredictLSGWait()
-		sim := a.MedianUs - 0.43
-		if sim < 0 {
-			sim = 0
-		}
-		t.AddRow(fmt.Sprint(n), f2(eq2.Microseconds()), f2(pred.Microseconds()), f2(sim))
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Base:    &convergedStarSim,
+			Sweep:   []Axis{{Field: AxisBSGs, Counts: intRange(1, 5)}},
+			Collect: []string{"lsg_p50_us"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			fab := model.OMNeTSim()
+			n, _ := strconv.Atoi(pr.Labels[0])
+			eq2 := analytic.Eq2Wait(n, fab.Switch.VLWindow, fab.Link.Bandwidth)
+			cfg := analytic.ConvergedConfig{Fabric: fab, NumBSGs: n, BSGPayload: 4096}
+			pred := cfg.PredictLSGWait()
+			sim := pr.M.LSGMedianUs - 0.43
+			if sim < 0 {
+				sim = 0
+			}
+			return []string{f2(eq2.Microseconds()), f2(pred.Microseconds()), f2(sim)}
+		}),
+	})
 
-// Fig10 regenerates Figure 10: LSG RTT vs BSG count in the OMNeT-style
-// simulator profile under FCFS and RR scheduling.
-func Fig10(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig10",
+	// Figure 10: LSG RTT vs BSG count in the OMNeT-style simulator profile
+	// under FCFS and RR scheduling.
+	Register(Definition{
+		ID: "fig10", Paper: true,
 		Title:   "Simulator profile: LSG RTT vs number of BSGs, FCFS vs RR (us)",
 		Columns: []string{"num_bsgs", "fcfs_p50_us", "fcfs_p999_us", "rr_p50_us", "rr_p999_us"},
-	}
-	policies := []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR}
-	var scs []Scenario
-	for n := 0; n <= 5; n++ {
-		for _, pol := range policies {
-			scs = append(scs, Scenario{
-				Fabric:   model.OMNeTSim(),
-				Topo:     TopoStar,
-				Policy:   pol,
-				NumBSGs:  n,
-				BSGBytes: 4096,
-				LSG:      true,
-			})
-		}
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for n := 0; n <= 5; n++ {
-		row := []string{fmt.Sprint(n)}
-		for pi := range policies {
-			a := as[n*len(policies)+pi]
-			row = append(row, f2(a.MedianUs), f2(a.TailUs))
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Base: &convergedStarSim,
+			Sweep: []Axis{
+				{Field: AxisBSGs, Counts: intRange(0, 5)},
+				{Field: AxisPolicy, Policies: []string{"fcfs", "rr"}},
+			},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us"},
+		},
+		Reduce: wideReduce(2, func(pr PointResult) []string {
+			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs)}
+		}),
+	})
 
-// Fig11 regenerates Figure 11: the multi-hop topology (two switches) under
-// FCFS and RR.
-func Fig11(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig11",
+	// Figure 11: the multi-hop topology (two switches) under FCFS and RR.
+	Register(Definition{
+		ID: "fig11", Paper: true,
 		Title:   "Multi-hop (two switches): LSG RTT under FCFS and RR (us)",
 		Columns: []string{"policy", "p50_us", "p999_us"},
 		Notes: []string{
 			"LSG shares the inter-switch link with two BSGs: RR no longer protects it (head-of-line blocking, §VIII-B)",
 		},
-	}
-	policies := []ibswitch.Policy{ibswitch.FCFS, ibswitch.RR}
-	var scs []Scenario
-	for _, pol := range policies {
-		scs = append(scs, Scenario{
-			Fabric:   model.OMNeTSim(),
-			Topo:     TopoTwoTier,
-			Policy:   pol,
-			NumBSGs:  5,
-			BSGBytes: 4096,
-			LSG:      true,
-		})
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for i, a := range as {
-		t.AddRow(policies[i].String(), f2(a.MedianUs), f2(a.TailUs))
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Base: &Point{
+				Profile:  model.ProfileSim,
+				Topology: topology.SpecTwoTier,
+				Workload: Workload{{Kind: GroupBSG, Count: 5, Payload: 4096}, {Kind: GroupLSG}},
+			},
+			Sweep:   []Axis{{Field: AxisPolicy, Policies: []string{"fcfs", "rr"}}},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs)}
+		}),
+	})
 
-// Fig12 regenerates Figure 12: the real LSG's RTT under the four QoS
-// setups of §VIII-C.
-func Fig12(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig12",
+	// Figure 12: the real LSG's RTT under the four QoS setups of §VIII-C.
+	Register(Definition{
+		ID: "fig12", Paper: true,
 		Title:   "QoS: real-LSG RTT in different SL/VL setups (us)",
 		Columns: []string{"setup", "p50_us", "p999_us"},
-	}
-	setups := fig12Setups()
-	scs := make([]Scenario, len(setups))
-	for i, s := range setups {
-		scs[i] = s.scenario
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for i, a := range as {
-		t.AddRow(setups[i].name, f2(a.MedianUs), f2(a.TailUs))
-	}
-	return t, nil
-}
+		Spec: Spec{
+			Sweep:   []Axis{{Field: AxisVariant, Variants: fig12Setups()}},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs)}
+		}),
+	})
 
-// Fig13 regenerates Figure 13: per-BSG bandwidth under the gamed dedicated-
-// SL setup versus the shared-SL baseline.
-func Fig13(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "fig13",
+	// Figure 13: per-BSG bandwidth under the gamed dedicated-SL setup
+	// versus the shared-SL baseline.
+	Register(Definition{
+		ID: "fig13", Paper: true,
 		Title:   "QoS gaming: per-BSG bandwidth (Gb/s)",
 		Columns: []string{"setup", "bsg1", "bsg2", "bsg3", "bsg4", "bsg5/pretend", "total"},
 		Notes: []string{
 			"in 'dedicated+pretend' the fifth source is the pretend LSG on the latency SL (256 B, batched)",
 		},
-	}
-	scs := []Scenario{
-		fig12Setups()[3].scenario, // dedicated SL + pretend LSG
-		{
-			Fabric:   model.HWTestbed(),
-			Topo:     TopoStar,
-			NumBSGs:  5,
-			BSGBytes: 4096,
+		Spec: Spec{
+			Sweep: []Axis{{Field: AxisVariant, Variants: []Variant{
+				{Name: "dedicated+pretend", Point: fig12Setups()[3].Point},
+				{Name: "shared SL", Point: starPoint(Workload{{Kind: GroupBSG, Count: 5, Payload: 4096}})},
+			}}},
+			Collect: []string{"pretend_gbps", "bulk_total_gbps"},
 		},
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	row := []string{"dedicated+pretend"}
-	for _, g := range as[0].BSGGbps {
-		row = append(row, f2(g))
-	}
-	row = append(row, f2(as[0].Pretend), f2(as[0].Total))
-	t.Rows = append(t.Rows, row)
-
-	row = []string{"shared SL"}
-	for _, g := range as[1].BSGGbps {
-		row = append(row, f2(g))
-	}
-	row = append(row, f2(as[1].Total))
-	t.Rows = append(t.Rows, row)
-	return t, nil
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			var cells []string
+			for _, g := range pr.M.BSGGbps {
+				cells = append(cells, f2(g))
+			}
+			if hasGroup(pr.Point, GroupPretend) {
+				cells = append(cells, f2(pr.M.PretendGbps))
+			}
+			return append(cells, f2(pr.M.TotalGbps))
+		}),
+	})
 }
 
-type namedScenario struct {
-	name     string
-	scenario Scenario
+// Shared base points. They are package vars so figure definitions can take
+// their address; axis application copies before mutating, so sharing is
+// safe.
+var (
+	// fig6Base is the Fig. 6 baseline-tools rack: Perftest from host 0
+	// and Qperf from host 1, both toward the destination server.
+	fig6Base = starPoint(Workload{
+		{Kind: GroupPerftest, Payload: 4096},
+		{Kind: GroupQperf, Payload: 4096, Src: ptr(1)},
+	})
+	// convergedStar is the paper's converged-traffic setup: bulk senders
+	// plus the latency probe on the hardware profile.
+	convergedStar = starPoint(Workload{
+		{Kind: GroupBSG, Count: 5, Payload: 4096},
+		{Kind: GroupLSG},
+	})
+	// convergedStarSim is the same setup on the simulator profile.
+	convergedStarSim = Point{
+		Profile:  model.ProfileSim,
+		Topology: topology.SpecStar,
+		Workload: Workload{
+			{Kind: GroupBSG, Count: 5, Payload: 4096},
+			{Kind: GroupLSG},
+		},
+	}
+)
+
+// hasGroup reports whether the point's workload contains a group kind.
+func hasGroup(p Point, kind string) bool {
+	for _, g := range p.Workload {
+		if g.Kind == kind {
+			return true
+		}
+	}
+	return false
 }
 
 // fig12Setups returns the four columns of Figure 12 in paper order.
-func fig12Setups() []namedScenario {
-	arb := ib.DedicatedVLArb()
-	return []namedScenario{
-		{"no BSGs", Scenario{
-			Fabric: model.HWTestbed(), Topo: TopoStar, LSG: true,
+func fig12Setups() []Variant {
+	return []Variant{
+		{Name: "no BSGs", Point: starPoint(Workload{{Kind: GroupLSG}})},
+		{Name: "shared SL", Point: starPoint(Workload{
+			{Kind: GroupBSG, Count: 5, Payload: 4096},
+			{Kind: GroupLSG},
+		})},
+		{Name: "dedicated SL", Point: Point{
+			Topology: topology.SpecStar, Policy: "vlarb", QoS: QoSDedicated,
+			Workload: Workload{
+				{Kind: GroupBSG, Count: 5, Payload: 4096},
+				{Kind: GroupLSG, SL: 1},
+			},
 		}},
-		{"shared SL", Scenario{
-			Fabric: model.HWTestbed(), Topo: TopoStar,
-			NumBSGs: 5, BSGBytes: 4096, LSG: true,
-		}},
-		{"dedicated SL", Scenario{
-			Fabric: model.HWTestbed(), Topo: TopoStar,
-			Policy: ibswitch.VLArb, SL2VL: ib.DedicatedSL2VL(), VLArb: &arb,
-			NumBSGs: 5, BSGBytes: 4096, BSGSL: 0, LSG: true, LSGSL: 1,
-		}},
-		{"dedicated SL + pretend LSG", Scenario{
-			Fabric: model.HWTestbed(), Topo: TopoStar,
-			Policy: ibswitch.VLArb, SL2VL: ib.DedicatedSL2VL(), VLArb: &arb,
-			NumBSGs: 4, BSGBytes: 4096, BSGSL: 0, LSG: true, LSGSL: 1,
-			Pretend: true,
+		{Name: "dedicated SL + pretend LSG", Point: Point{
+			Topology: topology.SpecStar, Policy: "vlarb", QoS: QoSDedicated,
+			Workload: Workload{
+				{Kind: GroupBSG, Count: 4, Payload: 4096},
+				{Kind: GroupPretend, SL: 1},
+				{Kind: GroupLSG, SL: 1},
+			},
 		}},
 	}
-}
-
-// All runs every experiment and returns the tables in paper order. The
-// figures run one after another; each parallelizes internally, so the
-// worker-pool bound holds across the whole regeneration.
-func All(opts Options) ([]*Table, error) {
-	runners := []func(Options) (*Table, error){
-		Fig4, Fig5, Fig6, Fig7a, Fig7b, Fig8, Fig9, Eq2, Fig10, Fig11, Fig12, Fig13,
-	}
-	var out []*Table
-	for _, r := range runners {
-		tbl, err := r(opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, tbl)
-	}
-	return out, nil
-}
-
-// ByID returns the runner for an experiment id ("fig4" ... "fig13", "eq2").
-func ByID(id string) (func(Options) (*Table, error), bool) {
-	m := map[string]func(Options) (*Table, error){
-		"fig4": Fig4, "fig5": Fig5, "fig6": Fig6,
-		"fig7a": Fig7a, "fig7b": Fig7b,
-		"fig8": Fig8, "fig9": Fig9, "eq2": Eq2,
-		"fig10": Fig10, "fig11": Fig11, "fig12": Fig12, "fig13": Fig13,
-		"ext-spf": ExtSPF, "ext-ratelimit": ExtRateLimit,
-		"incast": IncastSweep, "alltoall": AllToAll, "crossspine": CrossSpineMix,
-	}
-	f, ok := m[id]
-	return f, ok
-}
-
-func minMax(xs []float64) (mn, mx float64) {
-	if len(xs) == 0 {
-		return 0, 0
-	}
-	mn, mx = xs[0], xs[0]
-	for _, x := range xs[1:] {
-		if x < mn {
-			mn = x
-		}
-		if x > mx {
-			mx = x
-		}
-	}
-	return mn, mx
 }

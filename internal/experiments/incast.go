@@ -3,30 +3,21 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/ib"
-	"repro/internal/model"
-	"repro/internal/stats"
 	"repro/internal/topology"
-	"repro/internal/traffic"
-	"repro/internal/units"
 )
 
-// The incast/outcast scenario family: the paper's §V convergence pattern —
-// many senders, one drain port — generalized from the fixed 7-node rack to
-// arbitrary two-layer fat-trees. Three experiments sweep the latency-vs-
-// bandwidth tension across fabric sizes:
+// The fat-tree scenario suite: the paper's §V convergence pattern — many
+// senders, one drain port — generalized from the fixed 7-node rack to
+// arbitrary two-layer fat-trees, expressed as registry Specs:
 //
-//   - IncastSweep: N-to-1 incast depth sweeps over several fabric sizes,
-//     the direct generalization of Fig. 7a/7b.
-//   - AllToAll: M-to-N shift-pattern all-to-all, where destination-spread
+//   - incast: N-to-1 incast depth sweeps over several fabric sizes, the
+//     direct generalization of Fig. 7a/7b.
+//   - alltoall: M-to-N shift-pattern all-to-all, where destination-spread
 //     routing exercises every spine instead of one drain port.
-//   - CrossSpineMix: a converged LSG+BSG mix in which the probe either
-//     shares the incast drain port or rides a disjoint spine path —
-//     showing that the congestion the paper measures is port-local, so a
+//   - crossspine: a converged LSG+BSG mix in which the probe either shares
+//     the incast drain port or rides a disjoint spine path — showing that
+//     the congestion the paper measures is port-local, so a
 //     routing-disjoint probe keeps its zero-load latency.
-//
-// All three enumerate their sweeps as flat job grids and fan them across
-// the worker pool (Options.Parallel) exactly like the figure runners.
 
 // IncastFabrics are the fabric sizes of the incast sweeps: every size
 // supports at least 8 bulk sources beyond the probe and the drain host.
@@ -39,142 +30,11 @@ var IncastFabrics = []topology.FatTreeSpec{
 // IncastDepths are the N-to-1 convergence depths of the sweep.
 var IncastDepths = []int{2, 4, 8}
 
-// IncastSweep generalizes the converged-traffic experiment (Fig. 7a/7b)
-// across fabric sizes: for each fabric and incast depth N, N bulk senders
-// spread across the leaves converge on the last host while a latency probe
-// crosses the whole fabric to the same drain port.
-func IncastSweep(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "incast",
-		Title:   "Fat-tree incast: LSG RTT and drain goodput vs fabric size and incast depth",
-		Columns: []string{"fabric", "incast", "lsg_p50_us", "lsg_p999_us", "drain_gbps", "samples"},
-		Notes: []string{
-			"fabric LxH+Ss = L leaves x H hosts/leaf + S spines; senders fill leaf-by-leaf",
-			"probe and senders share the drain port: RTT grows with depth as in Fig. 7a, regardless of fabric size",
-		},
-	}
-	var scs []Scenario
-	for _, spec := range IncastFabrics {
-		for _, depth := range IncastDepths {
-			scs = append(scs, Scenario{
-				Fabric:   model.HWTestbed(),
-				Topo:     TopoFatTree,
-				FatTree:  spec,
-				NumBSGs:  depth,
-				BSGBytes: 4096,
-				LSG:      true,
-			})
-		}
-	}
-	as, err := runAveragedAll(scs, opts)
-	if err != nil {
-		return nil, err
-	}
-	for i, a := range as {
-		spec := IncastFabrics[i/len(IncastDepths)]
-		depth := IncastDepths[i%len(IncastDepths)]
-		t.AddRow(spec.String(), fmt.Sprint(depth), f2(a.MedianUs), f2(a.TailUs), f2(a.Total), fmt.Sprint(a.Samples))
-	}
-	return t, nil
-}
-
-// a2aSample is one seed's all-to-all measurement.
-type a2aSample struct {
-	total    float64   // aggregate delivered goodput, Gb/s
-	perDst   []float64 // per-destination goodput, node order
-	fairness float64   // min/max per-destination goodput
-}
-
-// runAllToAll runs one shift-pattern all-to-all: in each of `shifts`
-// rounds r (1-based, at most Leaves-1), every host i sends a bulk flow to
-// host (i + r*HostsPerLeaf) % NumHosts — a shift of r whole leaves, so
-// every flow leaves its source leaf, traverses the spine layer, and
-// destination-spread routing distributes the load over every spine and
-// trunk. (A round of r = Leaves would wrap back to the sender itself,
-// which is why the sweep runs Leaves-1 rounds.)
-func runAllToAll(spec topology.FatTreeSpec, shifts int, payload units.ByteSize, opts Options, seed uint64) (a2aSample, error) {
-	c, err := topology.FatTree(model.HWTestbed(), spec, seed)
-	if err != nil {
-		return a2aSample{}, err
-	}
-	h := spec.NumHosts()
-	var flows []*traffic.BSG
-	dstOf := make([]int, 0, h*shifts)
-	for r := 1; r <= shifts; r++ {
-		for i := 0; i < h; i++ {
-			dst := (i + r*spec.HostsPerLeaf) % h
-			b, err := traffic.NewBSG(c.NIC(i), c.NIC(dst), traffic.BSGConfig{Payload: payload})
-			if err != nil {
-				return a2aSample{}, err
-			}
-			b.Start(opts.start())
-			flows = append(flows, b)
-			dstOf = append(dstOf, dst)
-		}
-	}
-	end := opts.end()
-	c.Eng.RunUntil(end)
-	s := a2aSample{perDst: make([]float64, h)}
-	for i, b := range flows {
-		b.CloseAt(end)
-		g := b.Goodput().Gigabits()
-		s.total += g
-		s.perDst[dstOf[i]] += g
-	}
-	mn, mx := minMax(s.perDst)
-	if mx > 0 {
-		s.fairness = mn / mx
-	}
-	return s, nil
-}
-
 // AllToAllFabrics are the fabric sizes of the all-to-all sweep.
 var AllToAllFabrics = []topology.FatTreeSpec{
 	{Leaves: 2, HostsPerLeaf: 3, Spines: 1},
 	{Leaves: 3, HostsPerLeaf: 3, Spines: 2},
 	{Leaves: 3, HostsPerLeaf: 3, Spines: 3},
-}
-
-// AllToAll sweeps an M-to-N all-to-all (every host both sends and
-// receives) across fabric sizes, reporting aggregate goodput and the
-// min/max fairness across destinations. More spines admit more aggregate
-// cross-leaf bandwidth: the inverse of the incast story.
-func AllToAll(opts Options) (*Table, error) {
-	t := &Table{
-		ID:      "alltoall",
-		Title:   "Fat-tree all-to-all: aggregate goodput vs fabric size (Gb/s)",
-		Columns: []string{"fabric", "flows", "total_gbps", "per_host_gbps", "fairness"},
-		Notes: []string{
-			"shift-pattern all-to-all: L-1 cross-leaf rounds, so every flow crosses the spine layer",
-			"fairness = min/max per-destination goodput (1 = even); it dips when destination ids collide modulo the uplink count",
-		},
-	}
-	seeds := len(opts.Seeds)
-	samples, err := mapOrdered(len(AllToAllFabrics)*seeds, opts.workers(), func(i int) (a2aSample, error) {
-		spec := AllToAllFabrics[i/seeds]
-		return runAllToAll(spec, spec.Leaves-1, 4096, opts, opts.Seeds[i%seeds])
-	})
-	if err != nil {
-		return nil, err
-	}
-	for fi, spec := range AllToAllFabrics {
-		var totals, fair []float64
-		for s := 0; s < seeds; s++ {
-			smp := samples[fi*seeds+s]
-			totals = append(totals, smp.total)
-			fair = append(fair, smp.fairness)
-		}
-		total := stats.Mean(totals)
-		flows := spec.NumHosts() * (spec.Leaves - 1)
-		t.AddRow(spec.String(), fmt.Sprint(flows), f2(total), f2(total/float64(spec.NumHosts())), f2(stats.Mean(fair)))
-	}
-	return t, nil
-}
-
-// crossSpineSample is one seed's converged-mix measurement.
-type crossSpineSample struct {
-	medUs, tailUs float64
-	bulkGbps      float64
 }
 
 // crossSpineSpec is the fabric of the cross-spine mix: two spines, so the
@@ -183,68 +43,100 @@ type crossSpineSample struct {
 // count).
 var crossSpineSpec = topology.FatTreeSpec{Leaves: 3, HostsPerLeaf: 3, Spines: 2}
 
-// runCrossSpine runs `depth` bulk senders converging on the last host
-// while a latency probe from host 0 targets either the same drain port
-// (shared) or the neighboring host on the same leaf, whose odd node id
-// routes over the other spine (disjoint).
-func runCrossSpine(shared bool, depth int, opts Options, seed uint64) (crossSpineSample, error) {
-	spec := crossSpineSpec
-	c, err := topology.FatTree(model.HWTestbed(), spec, seed)
-	if err != nil {
-		return crossSpineSample{}, err
+func fatTreeSpecs(fts []topology.FatTreeSpec) []topology.Spec {
+	out := make([]topology.Spec, len(fts))
+	for i, ft := range fts {
+		out[i] = topology.SpecFatTree(ft)
 	}
-	h := spec.NumHosts()
-	bulkDst, probeDst := h-1, h-1
-	if !shared {
-		probeDst = h - 2 // same leaf, other spine, other drain port
-	}
-	// Bulk sources: leaf-by-leaf spread, skipping the probe endpoints and
-	// the drain host (same fill rule as the Scenario placement).
-	var srcs []int
-	for hh := 0; hh < spec.HostsPerLeaf; hh++ {
-		for l := 0; l < spec.Leaves; l++ {
-			if n := spec.HostNode(l, hh); n != 0 && n != bulkDst && n != probeDst {
-				srcs = append(srcs, n)
-			}
-		}
-	}
-	if depth > len(srcs) {
-		depth = len(srcs)
-	}
-	var bulks []*traffic.BSG
-	for i := 0; i < depth; i++ {
-		b, err := traffic.NewBSG(c.NIC(srcs[i]), c.NIC(bulkDst), traffic.BSGConfig{Payload: 4096})
-		if err != nil {
-			return crossSpineSample{}, err
-		}
-		b.Start(opts.start())
-		bulks = append(bulks, b)
-	}
-	lsg, err := traffic.NewLSG(c.NIC(0), ib.NodeID(probeDst), traffic.LSGConfig{Warmup: opts.start()})
-	if err != nil {
-		return crossSpineSample{}, err
-	}
-	lsg.Start()
-	end := opts.end()
-	c.Eng.RunUntil(end)
-	var smp crossSpineSample
-	for _, b := range bulks {
-		b.CloseAt(end)
-		smp.bulkGbps += b.Goodput().Gigabits()
-	}
-	sum := lsg.RTT().Summarize()
-	smp.medUs = sum.Median.Microseconds()
-	smp.tailUs = sum.P999.Microseconds()
-	return smp, nil
+	return out
 }
 
-// CrossSpineMix contrasts a latency probe that shares the incast drain
-// port with one that crosses the fabric on a disjoint spine path, at
-// several incast depths. Shared-path medians climb per-sender as in
-// Fig. 7a; the disjoint probe holds its zero-load latency because the
-// standing queues live in per-port VL buffers its packets never visit.
-func CrossSpineMix(opts Options) (*Table, error) {
-	t := &Table{
+func registerFatTreeSuite() {
+	// incast generalizes the converged-traffic experiment (Fig. 7a/7b)
+	// across fabric sizes: for each fabric and incast depth N, N bulk
+	// senders spread across the leaves converge on the last host while a
+	// latency probe crosses the whole fabric to the same drain port.
+	Register(Definition{
+		ID:      "incast",
+		Title:   "Fat-tree incast: LSG RTT and drain goodput vs fabric size and incast depth",
+		Columns: []string{"fabric", "incast", "lsg_p50_us", "lsg_p999_us", "drain_gbps", "samples"},
+		Notes: []string{
+			"fabric LxH+Ss = L leaves x H hosts/leaf + S spines; senders fill leaf-by-leaf",
+			"probe and senders share the drain port: RTT grows with depth as in Fig. 7a, regardless of fabric size",
+		},
+		Spec: Spec{
+			Base: &Point{
+				Topology: topology.SpecFatTree(IncastFabrics[0]),
+				Workload: Workload{
+					{Kind: GroupBSG, Count: 8, Payload: 4096},
+					{Kind: GroupLSG},
+				},
+			},
+			Sweep: []Axis{
+				{Field: AxisTopology, Topologies: fatTreeSpecs(IncastFabrics)},
+				{Field: AxisBSGs, Counts: IncastDepths},
+			},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us", "bulk_total_gbps", "lsg_samples"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs), f2(pr.M.TotalGbps), fmt.Sprint(pr.M.LSGSamples)}
+		}),
+	})
+
+	// alltoall sweeps an M-to-N all-to-all (every host both sends and
+	// receives) across fabric sizes, reporting aggregate goodput and the
+	// min/max fairness across destinations. More spines admit more
+	// aggregate cross-leaf bandwidth: the inverse of the incast story.
+	Register(Definition{
+		ID:      "alltoall",
+		Title:   "Fat-tree all-to-all: aggregate goodput vs fabric size (Gb/s)",
+		Columns: []string{"fabric", "flows", "total_gbps", "per_host_gbps", "fairness"},
+		Notes: []string{
+			"shift-pattern all-to-all: L-1 cross-leaf rounds, so every flow crosses the spine layer",
+			"fairness = min/max per-destination goodput (1 = even); it dips when destination ids collide modulo the uplink count",
+		},
+		Spec: Spec{
+			Base: &Point{
+				Topology: topology.SpecFatTree(AllToAllFabrics[0]),
+				Workload: Workload{{Kind: GroupAllToAll, Payload: 4096}},
+			},
+			Sweep:   []Axis{{Field: AxisTopology, Topologies: fatTreeSpecs(AllToAllFabrics)}},
+			Collect: []string{"bulk_total_gbps", "fairness"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			ft := pr.Point.Topology.FatTree
+			flows := ft.NumHosts() * (ft.Leaves - 1)
+			return []string{
+				fmt.Sprint(flows),
+				f2(pr.M.TotalGbps),
+				f2(pr.M.TotalGbps / float64(ft.NumHosts())),
+				f2(pr.M.Fairness),
+			}
+		}),
+	})
+
+	// crossspine contrasts a latency probe that shares the incast drain
+	// port with one that crosses the fabric on a disjoint spine path, at
+	// several incast depths. Shared-path medians climb per-sender as in
+	// Fig. 7a; the disjoint probe holds its zero-load latency because the
+	// standing queues live in per-port VL buffers its packets never visit.
+	sharedProbe := Point{
+		Topology: topology.SpecFatTree(crossSpineSpec),
+		Workload: Workload{
+			{Kind: GroupBSG, Count: 6, Payload: 4096},
+			{Kind: GroupLSG},
+		},
+	}
+	disjointProbe := Point{
+		Topology: topology.SpecFatTree(crossSpineSpec),
+		Workload: Workload{
+			{Kind: GroupBSG, Count: 6, Payload: 4096},
+			// The drain's neighbor: its odd node id routes over the other
+			// spine into a different egress port.
+			{Kind: GroupLSG, Dst: ptr(crossSpineSpec.NumHosts() - 2)},
+		},
+	}
+	Register(Definition{
 		ID:      "crossspine",
 		Title:   "Converged LSG+BSG mix across spines: shared drain port vs disjoint spine path",
 		Columns: []string{"probe_path", "incast", "lsg_p50_us", "lsg_p999_us", "bulk_gbps"},
@@ -252,31 +144,18 @@ func CrossSpineMix(opts Options) (*Table, error) {
 			"fabric " + crossSpineSpec.String() + "; probe host 0 -> last leaf, bulk incast on the last host",
 			"disjoint = probe targets the drain's neighbor, routed over the other spine to another port",
 		},
-	}
-	modes := []bool{true, false}
-	depths := []int{2, 4, 6}
-	seeds := len(opts.Seeds)
-	samples, err := mapOrdered(len(modes)*len(depths)*seeds, opts.workers(), func(i int) (crossSpineSample, error) {
-		si := i % seeds
-		di := (i / seeds) % len(depths)
-		mi := i / (seeds * len(depths))
-		return runCrossSpine(modes[mi], depths[di], opts, opts.Seeds[si])
+		Spec: Spec{
+			Sweep: []Axis{
+				{Field: AxisVariant, Variants: []Variant{
+					{Name: "shared-port", Point: sharedProbe},
+					{Name: "disjoint-spine", Point: disjointProbe},
+				}},
+				{Field: AxisBSGs, Counts: []int{2, 4, 6}},
+			},
+			Collect: []string{"lsg_p50_us", "lsg_p999_us", "bulk_total_gbps"},
+		},
+		Reduce: rowReduce(func(_ int, pr PointResult) []string {
+			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs), f2(pr.M.TotalGbps)}
+		}),
 	})
-	if err != nil {
-		return nil, err
-	}
-	names := []string{"shared-port", "disjoint-spine"}
-	for mi, name := range names {
-		for di, depth := range depths {
-			var meds, tails, bulks []float64
-			for s := 0; s < seeds; s++ {
-				smp := samples[(mi*len(depths)+di)*seeds+s]
-				meds = append(meds, smp.medUs)
-				tails = append(tails, smp.tailUs)
-				bulks = append(bulks, smp.bulkGbps)
-			}
-			t.AddRow(name, fmt.Sprint(depth), f2(stats.Mean(meds)), f2(stats.Mean(tails)), f2(stats.Mean(bulks)))
-		}
-	}
-	return t, nil
 }

@@ -76,30 +76,11 @@ func mapOrdered[T any](n, workers int, fn func(int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
-// RunSeeds runs the scenario once per seed in opts across the worker pool
+// RunSeeds runs the point once per seed in opts across the worker pool
 // and returns the per-seed results in seed order. The result slice is
 // identical to calling Run sequentially for each seed.
-func RunSeeds(sc Scenario, opts Options) ([]Result, error) {
+func RunSeeds(p Point, opts Options) ([]Result, error) {
 	return mapOrdered(len(opts.Seeds), opts.workers(), func(i int) (Result, error) {
-		return Run(sc, opts, opts.Seeds[i])
+		return Run(p, opts, opts.Seeds[i])
 	})
-}
-
-// runAveragedAll evaluates a whole sweep — every scenario under every seed
-// — as one flat job list, so the pool stays saturated even when a sweep
-// has more points than seeds or vice versa. Results are averaged per
-// scenario, in scenario order.
-func runAveragedAll(scs []Scenario, opts Options) ([]averaged, error) {
-	seeds := len(opts.Seeds)
-	results, err := mapOrdered(len(scs)*seeds, opts.workers(), func(i int) (Result, error) {
-		return Run(scs[i/seeds], opts, opts.Seeds[i%seeds])
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]averaged, len(scs))
-	for si := range scs {
-		out[si] = reduce(scs[si], results[si*seeds:(si+1)*seeds])
-	}
-	return out, nil
 }

@@ -1,16 +1,21 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§VI-§VIII). Each Fig* function runs the corresponding
-// scenario across several seeds (the paper averages three runs) and
-// returns both structured rows and a formatted table.
+// evaluation (§VI-§VIII) and runs arbitrary user-defined scenarios. The
+// layer is declarative: a serializable Spec (spec.go) describes a sweep, a
+// generic engine (sweep.go) executes it over the parallel runner
+// (runner.go), and the paper's figures are registry entries (registry.go,
+// figures.go) — a Spec plus a small row-assembly function each.
 package experiments
 
 import (
 	"fmt"
 
+	"repro/internal/core"
+	"repro/internal/host"
 	"repro/internal/ib"
 	"repro/internal/ibswitch"
 	"repro/internal/model"
 	"repro/internal/stats"
+	"repro/internal/tools"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 	"repro/internal/units"
@@ -55,227 +60,339 @@ func Quick() Options {
 func (o Options) end() units.Time   { return units.Time(0).Add(o.Warmup + o.Measure) }
 func (o Options) start() units.Time { return units.Time(0).Add(o.Warmup) }
 
-// Topology selects the fabric shape for a scenario.
-type Topology int
-
-// Topologies.
-const (
-	TopoBackToBack Topology = iota
-	TopoStar
-	TopoTwoTier
-	// TopoFatTree builds the generalized two-layer fabric described by
-	// Scenario.FatTree (see topology.FatTreeSpec).
-	TopoFatTree
-)
-
-// Scenario describes one converged-traffic run. The zero value plus a
-// Fabric is a valid "LSG only through the switch" scenario.
-type Scenario struct {
-	Fabric model.FabricParams
-	Topo   Topology
-	// FatTree configures the fabric when Topo is TopoFatTree.
-	FatTree  topology.FatTreeSpec
-	Policy   ibswitch.Policy
-	SL2VL    ib.SL2VL
-	VLArb    *ib.VLArbConfig
-	NumBSGs  int
-	BSGBytes units.ByteSize
-	// BSGCost overrides the BSG per-message engine cost (batching).
-	BSGCost units.Duration
-	// BSGSL is the service level of the bulk flows.
-	BSGSL ib.SL
-	// LSG enables the latency probe.
-	LSG bool
-	// LSGSL is the probe's service level.
-	LSGSL ib.SL
-	// Pretend adds a gaming BSG (256 B, batched) on the LSG's SL.
-	Pretend bool
-	// VL1RateLimit caps VL1's switch bandwidth (0 = unlimited). Used by
-	// the rate-limit extension experiment.
-	VL1RateLimit units.Bandwidth
-}
-
-// Result carries the measured outputs of one scenario run.
+// Result carries the measured outputs of one Point run under one seed.
+// Only the fields matching the point's workload groups are populated.
 type Result struct {
-	LSG      stats.Summary
-	LSGHist  *stats.Histogram
-	BSGGbps  []float64 // per-BSG goodput, source order
-	Pretend  float64   // pretend-LSG goodput (Gb/s), if enabled
-	Total    float64   // total bulk goodput including the pretend flow
+	LSG     stats.Summary
+	LSGHist *stats.Histogram
+	BSGGbps []float64 // per-BSG goodput, source order
+	Pretend float64   // pretend-LSG goodput (Gb/s), if enabled
+	Total   float64   // total bulk goodput including the pretend flow
+	// RPerf measurements in nanoseconds (rperf group).
+	RPerfMedNs, RPerfTailNs float64
+	// Baseline-tool measurements in microseconds (perftest/qperf groups).
+	PerftestP50Us, PerftestP999Us, QperfMeanUs float64
+	// Fairness is min/max per-destination goodput (alltoall group).
+	Fairness float64
 	Duration units.Duration
 }
 
-// Run executes the scenario once with the given seed.
-func Run(sc Scenario, opts Options, seed uint64) (Result, error) {
-	var c *topology.Cluster
-	switch sc.Topo {
-	case TopoBackToBack:
-		c = topology.BackToBack(sc.Fabric, seed)
-	case TopoStar:
-		c = topology.Star(sc.Fabric, 7, seed)
-	case TopoTwoTier:
-		// §VIII-B: LSG and two BSGs upstream, three BSGs and the
-		// destination downstream.
-		c = topology.TwoTier(sc.Fabric, 3, 4, seed)
-	case TopoFatTree:
-		var err error
-		c, err = topology.FatTree(sc.Fabric, sc.FatTree, seed)
-		if err != nil {
+// Run executes one point once with the given seed. The run is sealed: it
+// owns its engine and every RNG stream derives from (configuration, seed),
+// so concurrent runs share no mutable state (see DESIGN.md).
+func Run(p Point, opts Options, seed uint64) (Result, error) {
+	fab, err := model.Profile(p.Profile)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunFabric(p, fab, opts, seed)
+}
+
+// RunFabric is Run with an explicit parameter set instead of the point's
+// named profile — the programmatic escape hatch for ablation studies that
+// perturb individual calibration constants (see bench_test.go).
+func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Result, error) {
+	polName := p.Policy
+	if polName == "" && p.QoS == QoSDedicated {
+		polName = "vlarb"
+	}
+	pol, err := ibswitch.ParsePolicy(polName)
+	if err != nil {
+		return Result{}, err
+	}
+	c, err := p.Topology.Build(fab, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	c.SetPolicy(pol)
+	sl2vl := ib.SL2VL{}
+	var vlarb *ib.VLArbConfig
+	if p.QoS == QoSDedicated {
+		sl2vl = ib.DedicatedSL2VL()
+		arb := ib.DedicatedVLArb()
+		vlarb = &arb
+	}
+	c.SetSL2VL(sl2vl)
+	if vlarb != nil {
+		if err := c.SetVLArb(*vlarb); err != nil {
 			return Result{}, err
 		}
-	default:
-		return Result{}, fmt.Errorf("experiments: unknown topology %d", sc.Topo)
 	}
-	c.SetPolicy(sc.Policy)
-	c.SetSL2VL(sc.SL2VL)
-	if sc.VLArb != nil {
-		if err := c.SetVLArb(*sc.VLArb); err != nil {
-			return Result{}, err
-		}
-	}
-	if sc.VL1RateLimit > 0 {
+	if p.VL1RateLimitGbps > 0 {
 		// Allow a burst of a few latency-sized messages so an idle VL1
 		// still serves a real LSG promptly.
-		c.SetVLRateLimit(1, sc.VL1RateLimit, 4*(256+ib.MaxHeaderBytes))
+		rate := units.Bandwidth(p.VL1RateLimitGbps * float64(units.Gbps))
+		c.SetVLRateLimit(1, rate, 4*(256+ib.MaxHeaderBytes))
 	}
 
-	dst, lsgSrc, bsgSrcs := placement(sc, c)
+	drain, probeSrc, bsgSrcs := placement(p)
 
-	numBSGs := sc.NumBSGs
-	if numBSGs > len(bsgSrcs) {
-		numBSGs = len(bsgSrcs) // the fabric has only so many source slots
+	// Construct and start groups in workload order; this order is part of
+	// the determinism contract (spec.go).
+	type started struct {
+		g     Group
+		bsgs  []*traffic.BSG
+		dstOf []int // alltoall: destination per flow
+		lsg   *traffic.LSG
+		rperf *core.Session
+		pf    *tools.Perftest
+		qp    *tools.Qperf
 	}
-	var bsgs []*traffic.BSG
-	for i := 0; i < numBSGs; i++ {
-		b, err := traffic.NewBSG(c.NIC(bsgSrcs[i]), c.NIC(dst), traffic.BSGConfig{
-			Payload: sc.BSGBytes,
-			SL:      sc.BSGSL,
-			MsgCost: sc.BSGCost,
-		})
-		if err != nil {
-			return Result{}, err
+	var groups []*started
+	servers := map[int]*host.Host{} // baseline tools share one server host per node
+	serverFor := func(node int) *host.Host {
+		if h, ok := servers[node]; ok {
+			return h
 		}
-		bsgs = append(bsgs, b)
-		b.Start(opts.start())
+		h := host.New(c.NIC(node), fab.Host)
+		servers[node] = h
+		return h
 	}
-	var pretend *traffic.BSG
-	if sc.Pretend {
-		// The pretend LSG always takes the last bulk-source slot (the
-		// downstream node in the two-tier topology), independent of how
-		// many honest BSGs run — so reducing NumBSGs does not relocate the
-		// gaming flow.
-		src := bsgSrcs[len(bsgSrcs)-1]
-		p, err := traffic.NewPretendLSG(c.NIC(src), c.NIC(dst), sc.LSGSL)
-		if err != nil {
-			return Result{}, err
+	cursor := 0 // next unclaimed bulk-source slot
+	for _, g := range p.Workload {
+		sg := &started{g: g}
+		dst := drain
+		if g.Dst != nil {
+			dst = *g.Dst
 		}
-		pretend = p
-		p.Start(opts.start())
-	}
-	var lsg *traffic.LSG
-	if sc.LSG {
-		l, err := traffic.NewLSG(c.NIC(lsgSrc), ib.NodeID(dst), traffic.LSGConfig{
-			SL:     sc.LSGSL,
-			Warmup: opts.start(),
-		})
-		if err != nil {
-			return Result{}, err
+		switch g.Kind {
+		case GroupBSG:
+			count := g.Count
+			if count > len(bsgSrcs)-cursor {
+				count = len(bsgSrcs) - cursor // the fabric has only so many source slots
+			}
+			for i := 0; i < count; i++ {
+				b, err := traffic.NewBSG(c.NIC(bsgSrcs[cursor+i]), c.NIC(dst), traffic.BSGConfig{
+					Payload: units.ByteSize(g.Payload),
+					SL:      ib.SL(g.SL),
+					MsgCost: units.Duration(g.MsgCostNs) * units.Nanosecond,
+				})
+				if err != nil {
+					return Result{}, err
+				}
+				b.Start(opts.start())
+				sg.bsgs = append(sg.bsgs, b)
+			}
+			cursor += count
+		case GroupPretend:
+			// The pretend LSG always takes the last bulk-source slot (the
+			// downstream node in the two-tier topology), independent of
+			// how many honest BSGs run — so reducing the BSG count does
+			// not relocate the gaming flow.
+			if len(bsgSrcs) == 0 && g.Src == nil {
+				return Result{}, fmt.Errorf("experiments: pretend group needs a bulk-source slot, but topology %s has none free (set src explicitly)", p.Topology.Label())
+			}
+			src := 0
+			if len(bsgSrcs) > 0 {
+				src = bsgSrcs[len(bsgSrcs)-1]
+			}
+			if g.Src != nil {
+				src = *g.Src
+			}
+			b, err := traffic.NewPretendLSG(c.NIC(src), c.NIC(dst), ib.SL(g.SL))
+			if err != nil {
+				return Result{}, err
+			}
+			b.Start(opts.start())
+			sg.bsgs = append(sg.bsgs, b)
+		case GroupLSG:
+			src := probeSrc
+			if g.Src != nil {
+				src = *g.Src
+			}
+			l, err := traffic.NewLSG(c.NIC(src), ib.NodeID(dst), traffic.LSGConfig{
+				Payload: units.ByteSize(g.Payload),
+				SL:      ib.SL(g.SL),
+				Warmup:  opts.start(),
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			l.Start()
+			sg.lsg = l
+		case GroupRPerf:
+			src := 0
+			if g.Src != nil {
+				src = *g.Src
+			}
+			payload := g.Payload
+			if payload == 0 {
+				payload = 64
+			}
+			s, err := core.New(c.NIC(src), ib.NodeID(dst), core.Config{
+				Payload: units.ByteSize(payload),
+				SL:      ib.SL(g.SL),
+				Warmup:  opts.start(),
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			s.Start()
+			sg.rperf = s
+		case GroupPerftest:
+			src := 0
+			if g.Src != nil {
+				src = *g.Src
+			}
+			client := host.New(c.NIC(src), fab.Host)
+			pf, err := tools.NewPerftest(client, serverFor(dst), units.ByteSize(g.Payload), opts.start())
+			if err != nil {
+				return Result{}, err
+			}
+			pf.Start()
+			sg.pf = pf
+		case GroupQperf:
+			src := 0
+			if g.Src != nil {
+				src = *g.Src
+			}
+			client := host.New(c.NIC(src), fab.Host)
+			qp, err := tools.NewQperf(client, serverFor(dst), units.ByteSize(g.Payload), opts.start())
+			if err != nil {
+				return Result{}, err
+			}
+			qp.Start()
+			sg.qp = qp
+		case GroupAllToAll:
+			spec := p.Topology.FatTree
+			if spec == nil {
+				return Result{}, fmt.Errorf("experiments: alltoall group requires a fattree topology")
+			}
+			h := spec.NumHosts()
+			shifts := g.Count
+			if shifts == 0 {
+				shifts = spec.Leaves - 1
+			}
+			// Round r shifts destinations by r whole leaves, so every
+			// flow leaves its source leaf and crosses the spine layer.
+			for r := 1; r <= shifts; r++ {
+				for i := 0; i < h; i++ {
+					d := (i + r*spec.HostsPerLeaf) % h
+					b, err := traffic.NewBSG(c.NIC(i), c.NIC(d), traffic.BSGConfig{
+						Payload: units.ByteSize(g.Payload),
+						SL:      ib.SL(g.SL),
+					})
+					if err != nil {
+						return Result{}, err
+					}
+					b.Start(opts.start())
+					sg.bsgs = append(sg.bsgs, b)
+					sg.dstOf = append(sg.dstOf, d)
+				}
+			}
+		default:
+			return Result{}, fmt.Errorf("experiments: unknown workload group kind %q", g.Kind)
 		}
-		lsg = l
-		l.Start()
+		groups = append(groups, sg)
 	}
 
 	end := opts.end()
 	c.Eng.RunUntil(end)
 
+	// Collect in workload order; every reduction downstream preserves it.
 	res := Result{Duration: opts.Measure}
-	for _, b := range bsgs {
-		b.CloseAt(end)
-		g := b.Goodput().Gigabits()
-		res.BSGGbps = append(res.BSGGbps, g)
-		res.Total += g
-	}
-	if pretend != nil {
-		pretend.CloseAt(end)
-		res.Pretend = pretend.Goodput().Gigabits()
-		res.Total += res.Pretend
-	}
-	if lsg != nil {
-		res.LSGHist = lsg.RTT()
-		res.LSG = lsg.RTT().Summarize()
+	for _, sg := range groups {
+		switch sg.g.Kind {
+		case GroupBSG:
+			for _, b := range sg.bsgs {
+				b.CloseAt(end)
+				g := b.Goodput().Gigabits()
+				res.BSGGbps = append(res.BSGGbps, g)
+				res.Total += g
+			}
+		case GroupPretend:
+			b := sg.bsgs[0]
+			b.CloseAt(end)
+			res.Pretend = b.Goodput().Gigabits()
+			res.Total += res.Pretend
+		case GroupLSG:
+			res.LSGHist = sg.lsg.RTT()
+			res.LSG = sg.lsg.RTT().Summarize()
+		case GroupRPerf:
+			sum := sg.rperf.Summary()
+			res.RPerfMedNs = sum.Median.Nanoseconds()
+			res.RPerfTailNs = sum.P999.Nanoseconds()
+		case GroupPerftest:
+			res.PerftestP50Us = units.Duration(sg.pf.RTT().Median()).Microseconds()
+			res.PerftestP999Us = units.Duration(sg.pf.RTT().P999()).Microseconds()
+		case GroupQperf:
+			res.QperfMeanUs = sg.qp.MeanRTT().Microseconds()
+		case GroupAllToAll:
+			perDst := make([]float64, p.Topology.NumHosts())
+			for i, b := range sg.bsgs {
+				b.CloseAt(end)
+				g := b.Goodput().Gigabits()
+				res.Total += g
+				perDst[sg.dstOf[i]] += g
+			}
+			if mn, mx := minMax(perDst); mx > 0 {
+				res.Fairness = mn / mx
+			}
+		}
 	}
 	return res, nil
 }
 
-// placement maps scenario roles onto cluster nodes.
-func placement(sc Scenario, c *topology.Cluster) (dst, lsgSrc int, bsgSrcs []int) {
-	switch sc.Topo {
-	case TopoBackToBack:
+// placement maps workload roles onto cluster nodes: the drain port, the
+// latency probe's slot, and the ordered bulk-source slots.
+func placement(p Point) (drain, probeSrc int, bsgSrcs []int) {
+	switch p.Topology.Kind {
+	case topology.KindBackToBack:
 		return 1, 0, []int{0}
-	case TopoTwoTier:
-		// Upstream: nodes 0,1 are BSGs, node 2 is the LSG. Downstream:
-		// nodes 3,4,5 are BSGs, node 6 is the destination.
+	case topology.KindTwoTier:
+		// §VIII-B: nodes 0,1 are upstream BSGs, node 2 the LSG; nodes
+		// 3,4,5 are downstream BSGs, node 6 the destination.
 		return 6, 2, []int{0, 1, 3, 4, 5}
-	case TopoFatTree:
+	case topology.KindFatTree:
 		// The incast pattern of §V generalized across the fabric: the
 		// drain port is the last host of the last leaf, the latency probe
 		// crosses the whole fabric from host 0, and bulk sources fill in
 		// leaf-by-leaf (host-major) so the first N senders of an N-to-1
 		// incast spread across as many leaves — and spine paths — as
-		// possible.
-		spec := sc.FatTree
-		dst = spec.NumHosts() - 1
-		lsgSrc = 0
+		// possible. Probe endpoints and every group destination are
+		// reserved, so a re-aimed probe (cross-spine disjoint path) never
+		// collides with a bulk source.
+		spec := p.Topology.FatTree
+		drain = spec.NumHosts() - 1
+		probeSrc = 0
+		skip := map[int]bool{probeSrc: true, drain: true}
+		for _, g := range p.Workload {
+			if g.Src != nil && g.Kind == GroupLSG {
+				skip[*g.Src] = true
+			}
+			if g.Dst != nil {
+				skip[*g.Dst] = true
+			}
+		}
 		for h := 0; h < spec.HostsPerLeaf; h++ {
 			for l := 0; l < spec.Leaves; l++ {
-				if n := spec.HostNode(l, h); n != dst && n != lsgSrc {
+				if n := spec.HostNode(l, h); !skip[n] {
 					bsgSrcs = append(bsgSrcs, n)
 				}
 			}
 		}
-		return dst, lsgSrc, bsgSrcs
-	default: // TopoStar: paper's 7-node rack, node 6 is the destination
+		return drain, probeSrc, bsgSrcs
+	default: // star: the paper's 7-node rack, node 6 is the destination
 		return 6, 5, []int{0, 1, 2, 3, 4}
 	}
 }
 
-// averaged runs a scenario across all seeds and averages the statistics.
-type averaged struct {
-	MedianUs, TailUs float64
-	BSGGbps          []float64
-	Pretend          float64
-	Total            float64
-	Samples          uint64
+func minMax(xs []float64) (mn, mx float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mn, mx = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
 }
 
-// reduce averages per-seed results in seed order. Keeping the reduction
-// sequential (and ordered) is what makes parallel sweeps reproduce the
-// sequential output bit for bit: float64 summation is order-sensitive.
-func reduce(sc Scenario, results []Result) averaged {
-	var out averaged
-	var meds, tails, pretends, totals []float64
-	perBSG := map[int][]float64{}
-	for _, r := range results {
-		if sc.LSG {
-			meds = append(meds, r.LSG.Median.Microseconds())
-			tails = append(tails, r.LSG.P999.Microseconds())
-			out.Samples += r.LSG.Count
-		}
-		for i, g := range r.BSGGbps {
-			perBSG[i] = append(perBSG[i], g)
-		}
-		pretends = append(pretends, r.Pretend)
-		totals = append(totals, r.Total)
-	}
-	out.MedianUs = stats.Mean(meds)
-	out.TailUs = stats.Mean(tails)
-	out.Pretend = stats.Mean(pretends)
-	out.Total = stats.Mean(totals)
-	for i := 0; i < len(perBSG); i++ {
-		out.BSGGbps = append(out.BSGGbps, stats.Mean(perBSG[i]))
-	}
-	return out
-}
-
-// PayloadSweep is the payload series of Figures 4, 5, 6, 8 and 9.
-var PayloadSweep = []units.ByteSize{64, 128, 256, 512, 1024, 2048, 4096}
+// PayloadSweep is the payload series of Figures 4, 5, 6, 8 and 9, in
+// bytes.
+var PayloadSweep = []int64{64, 128, 256, 512, 1024, 2048, 4096}

@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ibswitch"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// This file defines the declarative experiment Spec: a serializable
+// description of a parameter sweep. A Spec is a base Point (fabric profile,
+// topology, scheduling policy, QoS setup and a Workload of traffic groups),
+// a list of Sweep axes whose cross product enumerates the grid, and a
+// Collect block naming the reduced metrics. One generic engine (sweep.go)
+// executes any Spec; the per-figure registry entries (figures.go,
+// incast.go, extensions.go) are Specs plus a small row-assembly function,
+// and user-authored JSON specs run through the same engine via
+// `ibsim run -spec` without recompiling.
+//
+// Everything in a Spec is plain data: JSON round-trips are a fixed point
+// (Marshal ∘ Unmarshal ∘ Marshal = Marshal), and loading a spec from JSON
+// changes nothing about the determinism contract — every run still owns a
+// sealed engine and RNG derived from (configuration, seed).
+
+// Group kinds.
+const (
+	// GroupBSG is the paper's bandwidth-sensitive generator: Count
+	// open-loop bulk senders converging on the drain port (or Dst).
+	GroupBSG = "bsg"
+	// GroupLSG is the latency probe: a closed-loop 64 B RPerf session
+	// from the probe slot to the drain port.
+	GroupLSG = "lsg"
+	// GroupPretend is the §VIII-C QoS gamer: bulk data as small batched
+	// messages on the latency SL, from the last bulk-source slot.
+	GroupPretend = "pretend"
+	// GroupRPerf is a raw RPerf session over an otherwise-idle fabric
+	// (the Fig. 4 measurement), reported in nanoseconds.
+	GroupRPerf = "rperf"
+	// GroupPerftest is the Perftest-style ping-pong baseline (Fig. 6).
+	GroupPerftest = "perftest"
+	// GroupQperf is the Qperf-style WRITE ping-pong baseline (Fig. 6);
+	// it reports only a mean, as the real tool does.
+	GroupQperf = "qperf"
+	// GroupAllToAll is the shift-pattern all-to-all: Count cross-leaf
+	// rounds (0 = Leaves-1) in which every host sends to the host Count
+	// leaves over. Requires a fat-tree topology.
+	GroupAllToAll = "alltoall"
+)
+
+func groupKinds() []string {
+	ks := []string{GroupBSG, GroupLSG, GroupPretend, GroupRPerf, GroupPerftest, GroupQperf, GroupAllToAll}
+	sort.Strings(ks)
+	return ks
+}
+
+// Group is one traffic group of a workload.
+type Group struct {
+	// Kind selects the generator type (see the Group* constants).
+	Kind string `json:"kind"`
+	// Count is the number of bulk senders (bsg) or cross-leaf shift
+	// rounds (alltoall, 0 = Leaves-1). Ignored by the other kinds.
+	Count int `json:"count,omitempty"`
+	// Payload is the message size in bytes. Defaults to 64 for lsg and
+	// rperf; required for bsg, alltoall, perftest and qperf; fixed (256,
+	// batched) for pretend.
+	Payload int64 `json:"payload,omitempty"`
+	// SL tags the group's traffic (the dedicated-QoS experiments put
+	// latency traffic on SL1).
+	SL uint8 `json:"sl,omitempty"`
+	// Src overrides the group's source node (lsg, rperf, perftest,
+	// qperf; default: the topology's probe slot, or node 0 for the
+	// measurement tools).
+	Src *int `json:"src,omitempty"`
+	// Dst overrides the group's destination node (default: the
+	// topology's drain port). A latency probe re-aimed at another port
+	// is how the cross-spine experiment shows congestion is port-local.
+	Dst *int `json:"dst,omitempty"`
+	// MsgCostNs overrides the per-message RNIC engine cost in
+	// nanoseconds to model batched posting (bsg only; 0 = NIC default).
+	MsgCostNs int64 `json:"msg_cost_ns,omitempty"`
+}
+
+// Workload is an ordered list of traffic groups. Order matters and is part
+// of the determinism contract: groups are constructed and started in list
+// order, so two specs with the same groups in the same order schedule
+// identical event sequences.
+type Workload []Group
+
+// QoS setups.
+const (
+	// QoSShared is the default: every SL maps to VL0.
+	QoSShared = ""
+	// QoSDedicated is the paper's §VIII-C setup: SL1 maps to
+	// high-priority VL1 with the calibrated arbitration weights, and the
+	// scheduling policy defaults to vlarb.
+	QoSDedicated = "dedicated"
+)
+
+// Point is one fully-specified scenario: a fabric, a switch configuration
+// and a workload. It is the unit the sweep engine runs per (point, seed)
+// job, and the unit a sweep axis perturbs.
+type Point struct {
+	// Profile selects the calibrated parameter set: "hw" (default) or
+	// "sim" (see model.Profile).
+	Profile string `json:"profile,omitempty"`
+	// Topology is the fabric shape.
+	Topology topology.Spec `json:"topology"`
+	// Policy is the switch scheduling policy: fcfs (default), rr, vlarb
+	// or spf.
+	Policy string `json:"policy,omitempty"`
+	// QoS selects the SL-to-VL setup: "" (shared) or "dedicated".
+	QoS string `json:"qos,omitempty"`
+	// VL1RateLimitGbps caps VL1's switch bandwidth (0 = unlimited), the
+	// rate-limit extension experiment.
+	VL1RateLimitGbps float64 `json:"vl1_rate_limit_gbps,omitempty"`
+	// Workload is the ordered list of traffic groups.
+	Workload Workload `json:"workload"`
+}
+
+// Sweep axis fields.
+const (
+	// AxisPayload sweeps the payload of every payload-bearing group
+	// (bsg, rperf, perftest, qperf, alltoall).
+	AxisPayload = "payload"
+	// AxisBSGs sweeps the sender count of every bsg group.
+	AxisBSGs = "bsgs"
+	// AxisPolicy sweeps the scheduling policy.
+	AxisPolicy = "policy"
+	// AxisTopology sweeps the fabric shape.
+	AxisTopology = "topology"
+	// AxisProfile sweeps the parameter profile.
+	AxisProfile = "profile"
+	// AxisVariant replaces the whole base point per value: the escape
+	// hatch for heterogeneous sweeps (the four QoS setups of Fig. 12).
+	// A variant axis must come first.
+	AxisVariant = "variant"
+)
+
+func axisFields() []string {
+	fs := []string{AxisPayload, AxisBSGs, AxisPolicy, AxisTopology, AxisProfile, AxisVariant}
+	sort.Strings(fs)
+	return fs
+}
+
+// Variant is one named point of a variant axis.
+type Variant struct {
+	Name  string `json:"name"`
+	Point Point  `json:"point"`
+}
+
+// Axis is one sweep dimension: a field name plus the value list matching
+// that field. Exactly one value list must be populated.
+type Axis struct {
+	Field      string          `json:"field"`
+	Payloads   []int64         `json:"payloads,omitempty"`
+	Counts     []int           `json:"counts,omitempty"`
+	Policies   []string        `json:"policies,omitempty"`
+	Topologies []topology.Spec `json:"topologies,omitempty"`
+	Profiles   []string        `json:"profiles,omitempty"`
+	Variants   []Variant       `json:"variants,omitempty"`
+}
+
+// Len is the number of values along the axis.
+func (a Axis) Len() int {
+	switch a.Field {
+	case AxisPayload:
+		return len(a.Payloads)
+	case AxisBSGs:
+		return len(a.Counts)
+	case AxisPolicy:
+		return len(a.Policies)
+	case AxisTopology:
+		return len(a.Topologies)
+	case AxisProfile:
+		return len(a.Profiles)
+	case AxisVariant:
+		return len(a.Variants)
+	}
+	return 0
+}
+
+// Spec is a complete declarative experiment: base point, sweep axes, and
+// the metrics to collect. See the package comment at the top of this file.
+type Spec struct {
+	// ID and Title name the experiment in tables and sinks.
+	ID    string   `json:"id,omitempty"`
+	Title string   `json:"title,omitempty"`
+	Notes []string `json:"notes,omitempty"`
+	// Base is the point every axis perturbs. It may be omitted only when
+	// the first sweep axis is a variant axis (which supplies whole
+	// points).
+	Base *Point `json:"base,omitempty"`
+	// Sweep lists the axes, outermost first; their cross product is the
+	// grid, enumerated first-axis-major.
+	Sweep []Axis `json:"sweep,omitempty"`
+	// Collect names the reduced metrics (see MetricNames) that become
+	// the generic table's value columns, in order.
+	Collect []string `json:"collect"`
+}
+
+// Validate checks the whole spec; errors name the offending field so a
+// hand-authored JSON spec fails with a pointer into itself, not a zero
+// value.
+func (s Spec) Validate() error {
+	hasVariant := len(s.Sweep) > 0 && s.Sweep[0].Field == AxisVariant
+	if s.Base == nil && !hasVariant {
+		return fmt.Errorf("spec: base is required unless the first sweep axis is a variant axis")
+	}
+	if s.Base != nil {
+		if err := s.Base.validate("base"); err != nil {
+			return err
+		}
+	}
+	for i, ax := range s.Sweep {
+		path := fmt.Sprintf("sweep[%d]", i)
+		if err := ax.validate(path); err != nil {
+			return err
+		}
+		if ax.Field == AxisVariant && i != 0 {
+			return fmt.Errorf("spec: %s: a variant axis must be the first axis", path)
+		}
+	}
+	if len(s.Collect) == 0 {
+		return fmt.Errorf("spec: collect must name at least one metric (valid: %s)",
+			strings.Join(MetricNames(), ", "))
+	}
+	for i, name := range s.Collect {
+		if _, ok := metricTable[name]; !ok {
+			return fmt.Errorf("spec: collect[%d] metric %q unknown (valid: %s)",
+				i, name, strings.Join(MetricNames(), ", "))
+		}
+	}
+	return nil
+}
+
+func (a Axis) validate(path string) error {
+	lists := map[string]int{
+		AxisPayload:  len(a.Payloads),
+		AxisBSGs:     len(a.Counts),
+		AxisPolicy:   len(a.Policies),
+		AxisTopology: len(a.Topologies),
+		AxisProfile:  len(a.Profiles),
+		AxisVariant:  len(a.Variants),
+	}
+	if _, ok := lists[a.Field]; !ok {
+		return fmt.Errorf("spec: %s.field %q unknown (valid: %s)", path, a.Field, strings.Join(axisFields(), ", "))
+	}
+	if lists[a.Field] == 0 {
+		return fmt.Errorf("spec: %s: field %q needs a non-empty %s list", path, a.Field, a.listName())
+	}
+	for f, n := range lists {
+		if f != a.Field && n > 0 {
+			return fmt.Errorf("spec: %s: field is %q but a %s list is set", path, a.Field, (Axis{Field: f}).listName())
+		}
+	}
+	switch a.Field {
+	case AxisPolicy:
+		for i, p := range a.Policies {
+			if _, err := ibswitch.ParsePolicy(p); err != nil {
+				return fmt.Errorf("spec: %s.policies[%d]: %w", path, i, err)
+			}
+		}
+	case AxisTopology:
+		for i, t := range a.Topologies {
+			if err := t.Validate(); err != nil {
+				return fmt.Errorf("spec: %s.topologies[%d]: %w", path, i, err)
+			}
+		}
+	case AxisProfile:
+		for i, p := range a.Profiles {
+			if _, err := model.Profile(p); err != nil {
+				return fmt.Errorf("spec: %s.profiles[%d]: %w", path, i, err)
+			}
+		}
+	case AxisPayload:
+		for i, p := range a.Payloads {
+			if p <= 0 {
+				return fmt.Errorf("spec: %s.payloads[%d] must be positive, got %d", path, i, p)
+			}
+		}
+	case AxisBSGs:
+		for i, n := range a.Counts {
+			if n < 0 {
+				return fmt.Errorf("spec: %s.counts[%d] must be non-negative, got %d", path, i, n)
+			}
+		}
+	case AxisVariant:
+		for i, v := range a.Variants {
+			if v.Name == "" {
+				return fmt.Errorf("spec: %s.variants[%d].name is required", path, i)
+			}
+			if err := v.Point.validate(fmt.Sprintf("%s.variants[%d].point", path, i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// listName is the JSON key of the axis' value list.
+func (a Axis) listName() string {
+	switch a.Field {
+	case AxisPayload:
+		return "payloads"
+	case AxisBSGs:
+		return "counts"
+	case AxisPolicy:
+		return "policies"
+	case AxisTopology:
+		return "topologies"
+	case AxisProfile:
+		return "profiles"
+	case AxisVariant:
+		return "variants"
+	}
+	return "values"
+}
+
+func (p Point) validate(path string) error {
+	if _, err := model.Profile(p.Profile); err != nil {
+		return fmt.Errorf("spec: %s.profile: %w", path, err)
+	}
+	if err := p.Topology.Validate(); err != nil {
+		return fmt.Errorf("spec: %s.topology: %w", path, err)
+	}
+	if _, err := ibswitch.ParsePolicy(p.Policy); err != nil {
+		return fmt.Errorf("spec: %s.policy: %w", path, err)
+	}
+	if p.QoS != QoSShared && p.QoS != QoSDedicated {
+		return fmt.Errorf("spec: %s.qos %q unknown (valid: %q, %q)", path, p.QoS, QoSShared, QoSDedicated)
+	}
+	if p.VL1RateLimitGbps < 0 {
+		return fmt.Errorf("spec: %s.vl1_rate_limit_gbps must be non-negative, got %g", path, p.VL1RateLimitGbps)
+	}
+	if len(p.Workload) == 0 {
+		return fmt.Errorf("spec: %s.workload must list at least one traffic group", path)
+	}
+	for i, g := range p.Workload {
+		gp := fmt.Sprintf("%s.workload[%d]", path, i)
+		switch g.Kind {
+		case GroupBSG, GroupLSG, GroupPretend, GroupRPerf, GroupPerftest, GroupQperf:
+		case GroupAllToAll:
+			if p.Topology.Kind != topology.KindFatTree {
+				return fmt.Errorf("spec: %s: kind %q requires a fattree topology, got %q", gp, g.Kind, p.Topology.Kind)
+			}
+		default:
+			return fmt.Errorf("spec: %s.kind %q unknown (valid: %s)", gp, g.Kind, strings.Join(groupKinds(), ", "))
+		}
+		switch g.Kind {
+		case GroupBSG, GroupAllToAll, GroupPerftest, GroupQperf:
+			if g.Payload <= 0 {
+				return fmt.Errorf("spec: %s.payload must be positive for kind %q, got %d", gp, g.Kind, g.Payload)
+			}
+		}
+		if g.Count < 0 {
+			return fmt.Errorf("spec: %s.count must be non-negative, got %d", gp, g.Count)
+		}
+		if g.Payload < 0 {
+			return fmt.Errorf("spec: %s.payload must be non-negative, got %d", gp, g.Payload)
+		}
+		hosts := p.Topology.NumHosts()
+		if g.Src != nil && (*g.Src < 0 || *g.Src >= hosts) {
+			return fmt.Errorf("spec: %s.src %d out of range [0, %d)", gp, *g.Src, hosts)
+		}
+		if g.Dst != nil && (*g.Dst < 0 || *g.Dst >= hosts) {
+			return fmt.Errorf("spec: %s.dst %d out of range [0, %d)", gp, *g.Dst, hosts)
+		}
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON spec. Unknown JSON fields are
+// rejected (a typoed key must not silently zero-value a knob), and
+// validation errors name the offending field.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("spec: %w", err)
+	}
+	// A second document in the stream is a malformed spec, not extra input.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("spec: trailing data after the spec document")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// MarshalIndent renders the spec as formatted JSON (the form committed
+// under specs/ and written by `ibsim export`).
+func (s Spec) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+// Metrics are the seed-averaged scalar measurements of one sweep point.
+// Fields are means over the per-seed Results in seed order (float64
+// summation is order-sensitive; keeping the order fixed is part of the
+// determinism contract), except LSGSamples which is the total sample count.
+type Metrics struct {
+	LSGMedianUs, LSGTailUs float64
+	LSGSamples             uint64
+	// BSGGbps is the per-BSG goodput in source order, averaged per slot.
+	BSGGbps     []float64
+	PretendGbps float64
+	// TotalGbps is the total delivered bulk goodput (BSGs + pretend, or
+	// the all-to-all aggregate).
+	TotalGbps                                  float64
+	RPerfMedNs, RPerfTailNs                    float64
+	PerftestP50Us, PerftestP999Us, QperfMeanUs float64
+	// Fairness is the all-to-all min/max per-destination goodput ratio.
+	Fairness float64
+}
+
+// metricTable maps Collect names to extraction + formatting. The format
+// conventions follow the paper's tables: two decimals for microseconds and
+// Gb/s, one for nanoseconds.
+var metricTable = map[string]func(Metrics) string{
+	"lsg_p50_us":       func(m Metrics) string { return f2(m.LSGMedianUs) },
+	"lsg_p999_us":      func(m Metrics) string { return f2(m.LSGTailUs) },
+	"lsg_samples":      func(m Metrics) string { return fmt.Sprint(m.LSGSamples) },
+	"bulk_total_gbps":  func(m Metrics) string { return f2(m.TotalGbps) },
+	"bulk_min_gbps":    func(m Metrics) string { mn, _ := minMax(m.BSGGbps); return f2(mn) },
+	"bulk_max_gbps":    func(m Metrics) string { _, mx := minMax(m.BSGGbps); return f2(mx) },
+	"pretend_gbps":     func(m Metrics) string { return f2(m.PretendGbps) },
+	"rperf_p50_ns":     func(m Metrics) string { return f1(m.RPerfMedNs) },
+	"rperf_p999_ns":    func(m Metrics) string { return f1(m.RPerfTailNs) },
+	"perftest_p50_us":  func(m Metrics) string { return f2(m.PerftestP50Us) },
+	"perftest_p999_us": func(m Metrics) string { return f2(m.PerftestP999Us) },
+	"qperf_mean_us":    func(m Metrics) string { return f2(m.QperfMeanUs) },
+	"fairness":         func(m Metrics) string { return f2(m.Fairness) },
+}
+
+// MetricNames returns the valid Collect entries, sorted.
+func MetricNames() []string {
+	out := make([]string, 0, len(metricTable))
+	for k := range metricTable {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FormatMetric renders one collected metric.
+func FormatMetric(name string, m Metrics) (string, error) {
+	f, ok := metricTable[name]
+	if !ok {
+		return "", fmt.Errorf("spec: metric %q unknown (valid: %s)", name, strings.Join(MetricNames(), ", "))
+	}
+	return f(m), nil
+}
+
+// reduceSeeds averages per-seed results in seed order (sums the sample
+// count). It is the only place seed results are combined, so parallel
+// sweeps reproduce the sequential output bit for bit.
+func reduceSeeds(results []Result) Metrics {
+	var m Metrics
+	var meds, tails, pretends, totals []float64
+	var rmeds, rtails, pp50, pp999, qmean, fair []float64
+	var perBSG [][]float64
+	for _, r := range results {
+		meds = append(meds, r.LSG.Median.Microseconds())
+		tails = append(tails, r.LSG.P999.Microseconds())
+		m.LSGSamples += r.LSG.Count
+		for i, g := range r.BSGGbps {
+			if i == len(perBSG) {
+				perBSG = append(perBSG, nil)
+			}
+			perBSG[i] = append(perBSG[i], g)
+		}
+		pretends = append(pretends, r.Pretend)
+		totals = append(totals, r.Total)
+		rmeds = append(rmeds, r.RPerfMedNs)
+		rtails = append(rtails, r.RPerfTailNs)
+		pp50 = append(pp50, r.PerftestP50Us)
+		pp999 = append(pp999, r.PerftestP999Us)
+		qmean = append(qmean, r.QperfMeanUs)
+		fair = append(fair, r.Fairness)
+	}
+	m.LSGMedianUs = stats.Mean(meds)
+	m.LSGTailUs = stats.Mean(tails)
+	m.PretendGbps = stats.Mean(pretends)
+	m.TotalGbps = stats.Mean(totals)
+	for _, vals := range perBSG {
+		m.BSGGbps = append(m.BSGGbps, stats.Mean(vals))
+	}
+	m.RPerfMedNs = stats.Mean(rmeds)
+	m.RPerfTailNs = stats.Mean(rtails)
+	m.PerftestP50Us = stats.Mean(pp50)
+	m.PerftestP999Us = stats.Mean(pp999)
+	m.QperfMeanUs = stats.Mean(qmean)
+	m.Fairness = stats.Mean(fair)
+	return m
+}
+
+// payloadLabel formats a payload axis value the way the paper's tables do
+// (64B, 4KB).
+func payloadLabel(v int64) string { return units.ByteSize(v).String() }

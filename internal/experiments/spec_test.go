@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// specOpts is a very short protocol for spec-equivalence tests: they run
+// every registered experiment twice (compiled-in vs JSON round-trip), so
+// the windows stay minimal.
+func specOpts() Options {
+	return Options{
+		Measure: 400 * units.Microsecond,
+		Warmup:  150 * units.Microsecond,
+		Seeds:   []uint64{1},
+	}
+}
+
+// TestSpecMarshalFixedPoint: Marshal -> Unmarshal -> Marshal is a fixed
+// point for every registered experiment's spec. This is what makes the
+// JSON form a faithful serialization rather than a lossy export.
+func TestSpecMarshalFixedPoint(t *testing.T) {
+	for _, d := range Definitions() {
+		first, err := json.Marshal(d.Spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", d.ID, err)
+		}
+		parsed, err := ParseSpec(first)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", d.ID, err)
+		}
+		second, err := json.Marshal(parsed)
+		if err != nil {
+			t.Fatalf("%s: remarshal: %v", d.ID, err)
+		}
+		if string(first) != string(second) {
+			t.Errorf("%s: marshal not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", d.ID, first, second)
+		}
+	}
+}
+
+// TestSpecRoundTripRunsIdentically: serializing a registered spec to JSON,
+// parsing it back and running it through the engine reproduces the
+// compiled-in table byte for byte — the acceptance criterion that lets
+// `ibsim run -spec` stand in for any figure.
+func TestSpecRoundTripRunsIdentically(t *testing.T) {
+	opts := specOpts()
+	for _, d := range Definitions() {
+		want, err := RunSpec(d, opts)
+		if err != nil {
+			t.Fatalf("%s: direct run: %v", d.ID, err)
+		}
+		data, err := json.Marshal(d.Spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", d.ID, err)
+		}
+		parsed, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", d.ID, err)
+		}
+		got, err := RunSpecGeneric(parsed, opts) // resolves presentation via the registry id
+		if err != nil {
+			t.Fatalf("%s: round-trip run: %v", d.ID, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s: JSON round-trip diverged:\n--- direct ---\n%s--- round-trip ---\n%s", d.ID, want, got)
+		}
+	}
+}
+
+// TestSpecPointsPure: resolving a spec's grid twice yields identical
+// points, and resolution does not mutate the shared base (axis application
+// must copy workloads before writing).
+func TestSpecPointsPure(t *testing.T) {
+	d, ok := Lookup("fig8") // payload axis mutates the bsg group
+	if !ok {
+		t.Fatal("fig8 not registered")
+	}
+	before, _ := json.Marshal(d.Spec.Base)
+	p1, err := d.Spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := d.Spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(p1)
+	j2, _ := json.Marshal(p2)
+	if string(j1) != string(j2) {
+		t.Error("two resolutions of the same spec differ")
+	}
+	after, _ := json.Marshal(d.Spec.Base)
+	if string(before) != string(after) {
+		t.Errorf("resolution mutated the base point:\nbefore %s\nafter  %s", before, after)
+	}
+	if p1[0].Workload[0].Payload == p1[1].Workload[0].Payload {
+		t.Error("payload axis did not vary the points")
+	}
+}
+
+// malformed specs must fail naming the offending field, not zero-value it.
+func TestSpecValidationErrors(t *testing.T) {
+	base := `{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2,"payload":4096}]}`
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"unknown top-level key", `{"base":` + base + `,"collect":["lsg_p50_us"],"bogus":1}`, `unknown field "bogus"`},
+		{"unknown policy", `{"base":{"topology":{"kind":"star"},"policy":"wfq","workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`policy "wfq" unknown (valid: fcfs, rr, vlarb, spf)`},
+		{"unknown topology kind", `{"base":{"topology":{"kind":"ring"},"workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`kind "ring" unknown (valid: backtoback, fattree, star, twotier)`},
+		{"port budget violation", `{"base":{"topology":{"kind":"fattree","fattree":{"leaves":2,"hosts_per_leaf":11,"spines":2,"max_ports":12}},"workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`exceeds port budget`},
+		{"unknown group kind", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsgx"}]},"collect":["lsg_p50_us"]}`,
+			`workload[0].kind "bsgx" unknown`},
+		{"missing payload", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2}]},"collect":["lsg_p50_us"]}`,
+			`workload[0].payload must be positive`},
+		{"unknown metric", `{"base":` + base + `,"collect":["lsg_p50"]}`, `collect[0] metric "lsg_p50" unknown`},
+		{"empty collect", `{"base":` + base + `,"collect":[]}`, `collect must name at least one metric`},
+		{"unknown axis field", `{"base":` + base + `,"sweep":[{"field":"depth","counts":[1,2]}],"collect":["lsg_p50_us"]}`,
+			`sweep[0].field "depth" unknown`},
+		{"axis list mismatch", `{"base":` + base + `,"sweep":[{"field":"bsgs","payloads":[64]}],"collect":["lsg_p50_us"]}`,
+			`needs a non-empty counts list`},
+		{"variant not first", `{"base":` + base + `,"sweep":[{"field":"bsgs","counts":[1]},{"field":"variant","variants":[{"name":"x","point":` + base2() + `}]}],"collect":["lsg_p50_us"]}`,
+			`variant axis must be the first axis`},
+		{"qos unknown", `{"base":{"topology":{"kind":"star"},"qos":"strict","workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`qos "strict" unknown`},
+		{"dst out of range", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"lsg","dst":9}]},"collect":["lsg_p50_us"]}`,
+			`dst 9 out of range [0, 7)`},
+		{"alltoall needs fattree", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"alltoall","payload":4096}]},"collect":["bulk_total_gbps"]}`,
+			`requires a fattree topology`},
+		{"missing base", `{"sweep":[{"field":"bsgs","counts":[1]}],"collect":["lsg_p50_us"]}`,
+			`base is required`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.spec))
+			if err == nil {
+				t.Fatalf("spec accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending field (want substring %q)", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func base2() string {
+	return `{"topology":{"kind":"star"},"workload":[{"kind":"lsg"}]}`
+}
+
+// TestRunSpecGenericNovel: a scenario never compiled in — a 4-leaf
+// fat-tree, payload x incast-depth grid with a re-aimed probe — runs
+// through the generic engine and produces the long-format table.
+func TestRunSpecGenericNovel(t *testing.T) {
+	ft := topology.FatTreeSpec{Leaves: 4, HostsPerLeaf: 3, Spines: 2}
+	spec := Spec{
+		ID:    "novel",
+		Title: "novel scenario",
+		Base: &Point{
+			Topology: topology.SpecFatTree(ft),
+			Workload: Workload{
+				{Kind: GroupBSG, Count: 2, Payload: 4096},
+				{Kind: GroupLSG, Dst: ptr(ft.NumHosts() - 2)},
+			},
+		},
+		Sweep: []Axis{
+			{Field: AxisPayload, Payloads: []int64{512, 4096}},
+			{Field: AxisBSGs, Counts: []int{2, 4}},
+		},
+		Collect: []string{"lsg_p50_us", "bulk_total_gbps"},
+	}
+	data, err := spec.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := RunSpecGeneric(parsed, specOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 payloads x 2 depths)", len(tbl.Rows))
+	}
+	wantCols := []string{"payload", "bsgs", "lsg_p50_us", "bulk_total_gbps"}
+	if len(tbl.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v, want %v", tbl.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if tbl.Columns[i] != c {
+			t.Fatalf("columns = %v, want %v", tbl.Columns, wantCols)
+		}
+	}
+	if tbl.Rows[0][0] != "512B" || tbl.Rows[3][1] != "4" {
+		t.Errorf("axis labels wrong: %v", tbl.Rows)
+	}
+	// The disjoint probe must hold near-zero-load latency even at depth 4
+	// (congestion is port-local; see the crossspine experiment).
+	if v := cell(t, tbl, 3, 2); v > 3 {
+		t.Errorf("disjoint probe p50 = %.2f us, want near zero-load", v)
+	}
+}
+
+// Regression: specs that parse but no longer match a registered layout
+// (or whose axes invalidate the base) must fail with named errors, never
+// panic (each case crashed before the guards existed).
+func TestSpecRuntimeGuards(t *testing.T) {
+	opts := specOpts()
+
+	// A registered id whose reduce assumes a fat-tree, fed a star grid:
+	// safeReduce must convert the reducer's panic into an error.
+	spec, err := ParseSpec([]byte(`{"id":"alltoall","base":{"topology":{"kind":"star"},
+		"workload":[{"kind":"bsg","count":2,"payload":4096}]},"collect":["bulk_total_gbps"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpecGeneric(spec, opts); err == nil || !strings.Contains(err.Error(), "generic") {
+		t.Errorf("mismatched registered layout: err = %v, want row-assembly error naming -generic", err)
+	}
+
+	// A topology axis that shrinks the fabric below a Dst override: the
+	// resolved point must fail validation, naming the grid point.
+	spec2, err := ParseSpec([]byte(`{"base":{"topology":{"kind":"fattree","fattree":{"leaves":3,"hosts_per_leaf":3,"spines":2}},
+		"workload":[{"kind":"lsg","dst":8}]},
+		"sweep":[{"field":"topology","topologies":[{"kind":"star"}]}],"collect":["lsg_p50_us"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpecGeneric(spec2, opts); err == nil || !strings.Contains(err.Error(), "point[0]") || !strings.Contains(err.Error(), "dst 8 out of range") {
+		t.Errorf("axis-invalidated dst: err = %v, want point[0] dst-out-of-range", err)
+	}
+
+	// A pretend group on a topology with no free bulk-source slot must
+	// error, not index bsgSrcs[-1].
+	spec3, err := ParseSpec([]byte(`{"base":{"topology":{"kind":"fattree","fattree":{"leaves":1,"hosts_per_leaf":2}},
+		"workload":[{"kind":"pretend"}]},"collect":["pretend_gbps"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpecGeneric(spec3, opts); err == nil || !strings.Contains(err.Error(), "bulk-source slot") {
+		t.Errorf("pretend without slots: err = %v, want bulk-source slot error", err)
+	}
+}
+
+// TestTableWideRowNoPanic: a row wider than the header renders instead of
+// panicking (regression: writeRow used to index widths out of range).
+func TestTableWideRowNoPanic(t *testing.T) {
+	tbl := &Table{ID: "w", Title: "wide", Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "2", "3", "longer-cell")
+	s := tbl.String()
+	for _, want := range []string{"1", "2", "3", "longer-cell"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	var sb strings.Builder
+	if err := tbl.Emit(NewJSONLSink(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"col3":"longer-cell"`) {
+		t.Errorf("jsonl missing positional key: %s", sb.String())
+	}
+}
+
+// TestSinksAgreeOnCells: the three sinks render the same cells of the same
+// table.
+func TestSinksAgreeOnCells(t *testing.T) {
+	tbl := &Table{ID: "s", Title: "sinks", Columns: []string{"k", "v"}, Notes: []string{"n"}}
+	tbl.AddRow("x", "1.00")
+	tbl.AddRow("y", "2.00")
+
+	var text, csv, jsonl strings.Builder
+	if err := tbl.Emit(NewTextSink(&text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Emit(NewCSVSink(&csv)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Emit(NewJSONLSink(&jsonl)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := csv.String(), "k,v\nx,1.00\ny,2.00\n"; got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+	if s := text.String(); !strings.Contains(s, "note: n") || !strings.Contains(s, "== s: sinks ==") {
+		t.Errorf("text rendering missing title/notes:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("jsonl lines = %d, want 3 (header + 2 rows)", len(lines))
+	}
+	var hdr struct {
+		Type string `json:"type"`
+		ID   string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Type != "table" || hdr.ID != "s" {
+		t.Errorf("jsonl header = %s (err %v)", lines[0], err)
+	}
+	var row struct {
+		Cells map[string]string `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &row); err != nil || row.Cells["k"] != "x" || row.Cells["v"] != "1.00" {
+		t.Errorf("jsonl row = %s (err %v)", lines[1], err)
+	}
+}
+
+// TestExportedSpecParses: every registered spec's indented JSON form (what
+// `ibsim export` writes) parses back.
+func TestExportedSpecParses(t *testing.T) {
+	for _, d := range Definitions() {
+		data, err := d.Spec.MarshalIndent()
+		if err != nil {
+			t.Fatalf("%s: %v", d.ID, err)
+		}
+		if _, err := ParseSpec(data); err != nil {
+			t.Errorf("%s: exported spec does not parse: %v", d.ID, err)
+		}
+	}
+}

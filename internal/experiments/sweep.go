@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ibswitch"
+)
+
+// The generic sweep engine: resolve a Spec's axis cross product into an
+// ordered point list, fan the flat point×seed job grid across the parallel
+// runner, reduce per point in seed order, and hand the ordered PointResults
+// to a row-assembly function. Every figure and every JSON-loaded spec runs
+// through this one path; parallel output is byte-identical to sequential
+// because enumeration, reduction and assembly are all sequential in grid
+// order (see runner.go and DESIGN.md).
+
+// PointResult is one sweep point's outcome: the resolved point, its
+// formatted axis labels (one per sweep axis, in axis order), and the
+// seed-averaged metrics.
+type PointResult struct {
+	Point  Point
+	Labels []string
+	M      Metrics
+}
+
+// ReduceFunc assembles table rows from the point results, which arrive in
+// grid-enumeration order (first axis outermost). Implementations append
+// rows to t; Columns/Title/Notes are already set.
+type ReduceFunc func(t *Table, pts []PointResult) error
+
+// Definition ties a Spec to its presentation: the table identity and an
+// optional custom row assembly. A nil Reduce uses the generic long-format
+// layout (one row per point: axis labels, then the Collect metrics).
+type Definition struct {
+	ID    string
+	Title string
+	// Columns override the generic header (axis fields + collect names).
+	Columns []string
+	Notes   []string
+	Spec    Spec
+	Reduce  ReduceFunc
+	// Paper marks the definitions that regenerate the paper's own
+	// figures (the set All runs, in paper order).
+	Paper bool
+}
+
+// resolvedPoint pairs a fully-applied point with its axis labels.
+type resolvedPoint struct {
+	p      Point
+	labels []string
+}
+
+// Points resolves the sweep grid in enumeration order: the cross product
+// of the axes, first axis outermost (slowest-varying). With no axes the
+// grid is the base point alone.
+func (s Spec) Points() ([]Point, error) {
+	rps, err := s.resolvePoints()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(rps))
+	for i, rp := range rps {
+		out[i] = rp.p
+	}
+	return out, nil
+}
+
+func (s Spec) resolvePoints() ([]resolvedPoint, error) {
+	n := 1
+	for _, ax := range s.Sweep {
+		n *= ax.Len()
+	}
+	out := make([]resolvedPoint, 0, n)
+	coord := make([]int, len(s.Sweep))
+	for i := 0; i < n; i++ {
+		// Decode i into axis coordinates, first axis most significant.
+		rem := i
+		for a := len(s.Sweep) - 1; a >= 0; a-- {
+			coord[a] = rem % s.Sweep[a].Len()
+			rem /= s.Sweep[a].Len()
+		}
+		var p Point
+		if s.Base != nil {
+			p = *s.Base
+		}
+		labels := make([]string, len(s.Sweep))
+		for a, ax := range s.Sweep {
+			lbl, err := applyAxis(&p, ax, coord[a])
+			if err != nil {
+				return nil, err
+			}
+			labels[a] = lbl
+		}
+		// Re-validate the fully-applied point: an axis can invalidate a
+		// base that validated on its own (e.g. a topology axis shrinking
+		// the fabric below a Src/Dst override), and the error should name
+		// the grid point, not surface as a panic mid-simulation.
+		if err := p.validate(fmt.Sprintf("point[%d]", i)); err != nil {
+			return nil, err
+		}
+		out = append(out, resolvedPoint{p: p, labels: labels})
+	}
+	return out, nil
+}
+
+// applyAxis applies one axis value to the point and returns its display
+// label. The workload slice is copied before mutation so points never
+// share group storage.
+func applyAxis(p *Point, ax Axis, idx int) (string, error) {
+	mutateGroups := func(f func(g *Group)) {
+		gs := make(Workload, len(p.Workload))
+		copy(gs, p.Workload)
+		for i := range gs {
+			f(&gs[i])
+		}
+		p.Workload = gs
+	}
+	switch ax.Field {
+	case AxisPayload:
+		v := ax.Payloads[idx]
+		mutateGroups(func(g *Group) {
+			switch g.Kind {
+			case GroupBSG, GroupRPerf, GroupPerftest, GroupQperf, GroupAllToAll:
+				g.Payload = v
+			}
+		})
+		return payloadLabel(v), nil
+	case AxisBSGs:
+		v := ax.Counts[idx]
+		mutateGroups(func(g *Group) {
+			if g.Kind == GroupBSG {
+				g.Count = v
+			}
+		})
+		return fmt.Sprint(v), nil
+	case AxisPolicy:
+		p.Policy = ax.Policies[idx]
+		pol, err := ibswitch.ParsePolicy(ax.Policies[idx])
+		if err != nil {
+			return "", err
+		}
+		return pol.String(), nil
+	case AxisTopology:
+		p.Topology = ax.Topologies[idx]
+		return ax.Topologies[idx].Label(), nil
+	case AxisProfile:
+		p.Profile = ax.Profiles[idx]
+		return ax.Profiles[idx], nil
+	case AxisVariant:
+		*p = ax.Variants[idx].Point
+		return ax.Variants[idx].Name, nil
+	}
+	return "", fmt.Errorf("spec: axis field %q unknown", ax.Field)
+}
+
+// RunSpec executes a definition: validate, enumerate, fan the point×seed
+// grid across the worker pool, reduce, assemble. The returned table is a
+// pure function of (definition, options) regardless of Options.Parallel.
+func RunSpec(d Definition, opts Options) (*Table, error) {
+	if err := d.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	rps, err := d.Spec.resolvePoints()
+	if err != nil {
+		return nil, err
+	}
+	seeds := len(opts.Seeds)
+	results, err := mapOrdered(len(rps)*seeds, opts.workers(), func(i int) (Result, error) {
+		return Run(rps[i/seeds].p, opts, opts.Seeds[i%seeds])
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]PointResult, len(rps))
+	for i, rp := range rps {
+		pts[i] = PointResult{
+			Point:  rp.p,
+			Labels: rp.labels,
+			M:      reduceSeeds(results[i*seeds : (i+1)*seeds]),
+		}
+	}
+	t := &Table{ID: d.ID, Title: d.Title, Columns: d.Columns, Notes: d.Notes}
+	if t.ID == "" {
+		t.ID = d.Spec.ID
+	}
+	if t.Title == "" {
+		t.Title = d.Spec.Title
+	}
+	if len(t.Notes) == 0 {
+		t.Notes = d.Spec.Notes
+	}
+	reduce := d.Reduce
+	if reduce == nil {
+		reduce = genericReduce(d.Spec)
+	}
+	if len(t.Columns) == 0 {
+		t.Columns = genericColumns(d.Spec)
+	}
+	if err := safeReduce(reduce, t, pts); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// safeReduce runs a row-assembly function, converting panics into errors.
+// Registered reducers assume their published grid shape; a user-edited
+// spec that keeps a registry id but reshapes the sweep must fail with a
+// pointer to the -generic escape hatch, not crash the CLI.
+func safeReduce(reduce ReduceFunc, t *Table, pts []PointResult) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: %s: row assembly failed on this spec's grid (%v); the spec no longer matches the registered layout — run it with the generic layout (ibsim run -generic) or drop/rename its id", t.ID, r)
+		}
+	}()
+	return reduce(t, pts)
+}
+
+// genericColumns derives the long-format header: one label column per
+// sweep axis, then the collected metrics.
+func genericColumns(s Spec) []string {
+	var cols []string
+	for _, ax := range s.Sweep {
+		cols = append(cols, ax.Field)
+	}
+	return append(cols, s.Collect...)
+}
+
+// genericReduce renders the long format: one row per point — axis labels,
+// then the Collect metrics in order.
+func genericReduce(s Spec) ReduceFunc {
+	return func(t *Table, pts []PointResult) error {
+		for _, pr := range pts {
+			row := append([]string(nil), pr.Labels...)
+			for _, name := range s.Collect {
+				cell, err := FormatMetric(name, pr.M)
+				if err != nil {
+					return err
+				}
+				row = append(row, cell)
+			}
+			t.AddRow(row...)
+		}
+		return nil
+	}
+}
+
+// RunSpecGeneric runs a bare Spec (typically parsed from JSON) with the
+// generic presentation. If the spec's ID matches a registered definition,
+// the registry's presentation (title, columns, custom row assembly) is
+// used instead, so a serialized figure spec reproduces the figure's exact
+// table.
+func RunSpecGeneric(s Spec, opts Options) (*Table, error) {
+	if d, ok := Lookup(s.ID); ok {
+		d.Spec = s // the loaded spec governs what runs; the registry styles it
+		return RunSpec(d, opts)
+	}
+	id := s.ID
+	if id == "" {
+		id = "custom"
+	}
+	title := s.Title
+	if title == "" {
+		title = "user-defined experiment"
+	}
+	return RunSpec(Definition{ID: id, Title: title, Spec: s}, opts)
+}

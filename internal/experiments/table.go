@@ -1,13 +1,14 @@
 package experiments
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
 )
 
-// Table is a formatted experiment result: the rows a figure plots.
+// Table is a formatted experiment result: the rows a figure plots. The
+// renderers live in sink.go; String and WriteCSV are conveniences over the
+// corresponding sinks.
 type Table struct {
 	ID      string // experiment id, e.g. "fig7a"
 	Title   string
@@ -23,58 +24,17 @@ func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 // String renders an aligned text table.
 func (t *Table) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Columns)
-	for i, w := range widths {
-		if i > 0 {
-			b.WriteString("  ")
-		}
-		b.WriteString(strings.Repeat("-", w))
-	}
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		writeRow(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
+	// The text sink cannot fail on a strings.Builder.
+	_ = t.Emit(NewTextSink(&b))
 	return b.String()
 }
 
 // WriteCSV emits the table as CSV (header row first).
-func (t *Table) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.Columns); err != nil {
-		return err
-	}
-	for _, row := range t.Rows {
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
+func (t *Table) WriteCSV(w io.Writer) error { return t.Emit(NewCSVSink(w)) }
+
+// WriteJSONL emits the table as JSON lines (a header object, then one
+// object per row).
+func (t *Table) WriteJSONL(w io.Writer) error { return t.Emit(NewJSONLSink(w)) }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,44 @@
+package ibswitch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// policyNames maps the canonical lower-case names used in declarative
+// specs and CLI flags to policies. Policy.String() remains the display
+// form (FCFS, RR, VLArb, SPF).
+var policyNames = []struct {
+	name string
+	p    Policy
+}{
+	{"fcfs", FCFS},
+	{"rr", RR},
+	{"vlarb", VLArb},
+	{"spf", SPF},
+}
+
+// PolicyNames returns the valid policy names for error messages and CLI
+// help.
+func PolicyNames() []string {
+	out := make([]string, len(policyNames))
+	for i, e := range policyNames {
+		out[i] = e.name
+	}
+	return out
+}
+
+// ParsePolicy resolves a policy name. The empty name defaults to FCFS (the
+// hardware switch's behavior, §VII); unknown names report the valid set.
+func ParsePolicy(s string) (Policy, error) {
+	if s == "" {
+		return FCFS, nil
+	}
+	for _, e := range policyNames {
+		if e.name == s {
+			return e.p, nil
+		}
+	}
+	return FCFS, fmt.Errorf("ibswitch: policy %q unknown (valid: %s)",
+		s, strings.Join(PolicyNames(), ", "))
+}

@@ -139,12 +139,14 @@ type HostParams struct {
 	JitterMean units.Duration
 }
 
-// LinkParams describe a cable.
+// LinkParams describe a cable. The JSON tags serialize the raw base units
+// (bits per second, picoseconds) for per-tier link overrides in declarative
+// topology specs.
 type LinkParams struct {
 	// Bandwidth is the signaling rate (56 Gb/s).
-	Bandwidth units.Bandwidth
+	Bandwidth units.Bandwidth `json:"bandwidth_bps"`
 	// Propagation is the one-way cable delay (3 ns: ~60 cm DAC).
-	Propagation units.Duration
+	Propagation units.Duration `json:"propagation_ps"`
 }
 
 // FabricParams aggregates everything an experiment needs.

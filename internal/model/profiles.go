@@ -1,0 +1,32 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile names for the two calibrated parameter sets, used by the
+// declarative experiment Spec API and the CLIs.
+const (
+	// ProfileHW is the physical testbed (ConnectX-4 + SX6012, §V).
+	ProfileHW = "hw"
+	// ProfileSim is the paper's OMNeT++-style switch simulator (§VIII-B).
+	ProfileSim = "sim"
+)
+
+// ProfileNames returns the valid profile names for error messages and CLI
+// help.
+func ProfileNames() []string { return []string{ProfileHW, ProfileSim} }
+
+// Profile resolves a named parameter profile. The empty name defaults to
+// the hardware testbed; unknown names report the valid set.
+func Profile(name string) (FabricParams, error) {
+	switch name {
+	case "", ProfileHW:
+		return HWTestbed(), nil
+	case ProfileSim:
+		return OMNeTSim(), nil
+	}
+	return FabricParams{}, fmt.Errorf("model: profile %q unknown (valid: %s)",
+		name, strings.Join(ProfileNames(), ", "))
+}

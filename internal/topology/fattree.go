@@ -16,29 +16,30 @@ import (
 	"repro/internal/model"
 )
 
-// FatTreeSpec configures the fabric generator.
+// FatTreeSpec configures the fabric generator. The JSON form is part of
+// the declarative experiment Spec API (see internal/experiments).
 type FatTreeSpec struct {
 	// Leaves is the number of leaf (ToR) switches.
-	Leaves int
+	Leaves int `json:"leaves"`
 	// HostsPerLeaf is the number of hosts below each leaf.
-	HostsPerLeaf int
+	HostsPerLeaf int `json:"hosts_per_leaf"`
 	// Spines is the number of spine switches. Zero builds a degenerate
 	// spineless fabric: a single leaf (the star rack), or two leaves joined
 	// by one direct trunk (the paper's two-switch setup).
-	Spines int
+	Spines int `json:"spines,omitempty"`
 	// Trunks is the number of parallel cables between each leaf-spine pair
 	// (or between the two leaves of a spineless fabric). Defaults to 1.
-	Trunks int
+	Trunks int `json:"trunks,omitempty"`
 	// MaxPorts bounds the radix of every switch in the fabric (0 = no
 	// bound). The paper's SX6012 has 12 ports; specs exceeding the budget
 	// are rejected rather than silently built.
-	MaxPorts int
+	MaxPorts int `json:"max_ports,omitempty"`
 	// HostLink overrides the host-to-leaf cable parameters (nil = the
 	// fabric default, par.Link).
-	HostLink *model.LinkParams
+	HostLink *model.LinkParams `json:"host_link,omitempty"`
 	// TrunkLink overrides the leaf-to-spine (or leaf-to-leaf) cable
 	// parameters (nil = the fabric default).
-	TrunkLink *model.LinkParams
+	TrunkLink *model.LinkParams `json:"trunk_link,omitempty"`
 }
 
 // withDefaults fills unset optional fields.

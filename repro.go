@@ -26,6 +26,7 @@ package repro
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -288,11 +289,28 @@ func (cl *Cluster) MeasureQperf(src, dst int, payload ByteSize, d Duration) (Dur
 	return q.MeanRTT(), nil
 }
 
-// ExperimentOptions control the per-figure experiment runners.
+// ExperimentOptions control the experiment runners.
 type ExperimentOptions = experiments.Options
 
 // ExperimentTable is a regenerated figure/table.
 type ExperimentTable = experiments.Table
+
+// ExperimentSpec is the declarative, serializable description of an
+// experiment: a base scenario point, sweep axes and collected metrics. It
+// round-trips through JSON, so novel scenarios run from a file without
+// recompiling (see `ibsim run -spec`).
+type ExperimentSpec = experiments.Spec
+
+// ExperimentSink consumes a table's ordered rows; text, CSV and JSON-lines
+// implementations are provided.
+type ExperimentSink = experiments.Sink
+
+// Sink constructors.
+var (
+	NewTextSink  = experiments.NewTextSink
+	NewCSVSink   = experiments.NewCSVSink
+	NewJSONLSink = experiments.NewJSONLSink
+)
 
 // DefaultExperimentOptions mirror the paper's three-run protocol.
 func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
@@ -300,12 +318,14 @@ func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOp
 // QuickExperimentOptions are short smoke-test options.
 func QuickExperimentOptions() ExperimentOptions { return experiments.Quick() }
 
-// RunExperiment regenerates one of the paper's figures: "fig4" ... "fig13"
-// or "eq2".
+// RunExperiment runs one registered experiment: the paper's figures
+// ("fig4" ... "fig13", "eq2"), the extension experiments ("ext-spf",
+// "ext-ratelimit") or the fat-tree suite ("incast", "alltoall",
+// "crossspine"). Experiments lists the valid IDs.
 func RunExperiment(id string, opts ExperimentOptions) (*ExperimentTable, error) {
 	f, ok := experiments.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("repro: unknown experiment %q", id)
+		return nil, fmt.Errorf("repro: unknown experiment %q (valid: %s)", id, strings.Join(experiments.IDs(), ", "))
 	}
 	return f(opts)
 }
@@ -313,4 +333,23 @@ func RunExperiment(id string, opts ExperimentOptions) (*ExperimentTable, error) 
 // RunAllExperiments regenerates every figure in paper order.
 func RunAllExperiments(opts ExperimentOptions) ([]*ExperimentTable, error) {
 	return experiments.All(opts)
+}
+
+// Experiments returns the registered experiment IDs, sorted.
+func Experiments() []string { return experiments.IDs() }
+
+// ParseExperimentSpec decodes and validates a JSON experiment spec.
+// Unknown fields and invalid values fail with errors naming the offending
+// field.
+func ParseExperimentSpec(data []byte) (ExperimentSpec, error) {
+	return experiments.ParseSpec(data)
+}
+
+// RunExperimentSpec executes a declarative spec through the generic sweep
+// engine. If the spec's ID matches a registered experiment, the registry's
+// table layout is used, so a serialized figure spec reproduces the
+// figure's exact table; otherwise rows are one-per-point (axis labels,
+// then the collected metrics).
+func RunExperimentSpec(s ExperimentSpec, opts ExperimentOptions) (*ExperimentTable, error) {
+	return experiments.RunSpecGeneric(s, opts)
 }

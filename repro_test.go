@@ -116,6 +116,40 @@ func TestRunExperimentFacade(t *testing.T) {
 	}
 }
 
+func TestRunExperimentSpecFacade(t *testing.T) {
+	spec, err := repro.ParseExperimentSpec([]byte(`{
+		"id": "facade-demo",
+		"title": "facade: converged star sweep",
+		"base": {
+			"topology": {"kind": "star"},
+			"workload": [
+				{"kind": "bsg", "count": 2, "payload": 4096},
+				{"kind": "lsg"}
+			]
+		},
+		"sweep": [{"field": "bsgs", "counts": [0, 2]}],
+		"collect": ["lsg_p50_us", "bulk_total_gbps"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := repro.QuickExperimentOptions()
+	opts.Measure = repro.Millisecond
+	tbl, err := repro.RunExperimentSpec(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "facade-demo" || len(tbl.Rows) != 2 {
+		t.Fatalf("unexpected table: id=%s rows=%d", tbl.ID, len(tbl.Rows))
+	}
+	if _, err := repro.ParseExperimentSpec([]byte(`{"collect": []}`)); err == nil {
+		t.Fatal("invalid spec should error")
+	}
+	if len(repro.Experiments()) < 17 {
+		t.Fatalf("registry too small: %v", repro.Experiments())
+	}
+}
+
 func TestTwoTierFacade(t *testing.T) {
 	cl := repro.NewTwoTier(repro.OMNeTSim(), 3, 4, 6)
 	cl.SetPolicy(repro.RR)
