@@ -25,6 +25,7 @@ func init() {
 	registerFigures()
 	registerExtensions()
 	registerFatTreeSuite()
+	registerSliceSuite()
 }
 
 // Register adds a definition. It panics on duplicate or empty IDs and on

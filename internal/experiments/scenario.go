@@ -75,6 +75,15 @@ type Result struct {
 	// Fairness is min/max per-destination goodput (alltoall group).
 	Fairness float64
 	Duration units.Duration
+	// Tenant slices, indexed like Point.Tenants (populated only when the
+	// point declares tenants). Gbps is the tenant's delivered bulk goodput,
+	// Conf its conformance ratio delivered/promised, P99/P999 the tail
+	// latency of its first latency group (µs), and IsoP99/IsoP999 the same
+	// tails from the same-seed isolation baseline (zero when the run has
+	// fewer than two tenants or the tenant owns no latency group).
+	TenantGbps, TenantConf          []float64
+	TenantP99Us, TenantP999Us       []float64
+	TenantIsoP99Us, TenantIsoP999Us []float64
 }
 
 // Run executes one point once with the given seed. The run is sealed: it
@@ -91,9 +100,46 @@ func Run(p Point, opts Options, seed uint64) (Result, error) {
 // RunFabric is Run with an explicit parameter set instead of the point's
 // named profile — the programmatic escape hatch for ablation studies that
 // perturb individual calibration constants (see bench_test.go).
+//
+// Points with two or more tenants additionally run one isolation baseline
+// per tenant that owns a latency group: the identical sealed configuration
+// (same construction order, same QP numbering) with only that tenant's
+// groups started. The baseline tails land in TenantIsoP99Us/TenantIsoP999Us
+// so interference is measured against the same seed, not a different run.
 func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Result, error) {
+	res, err := runScenario(p, fab, opts, seed, -1)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(p.Tenants) >= 2 {
+		res.TenantIsoP99Us = make([]float64, len(p.Tenants))
+		res.TenantIsoP999Us = make([]float64, len(p.Tenants))
+		for ti := range p.Tenants {
+			if !p.tenantHasLatencyGroup(ti) {
+				continue
+			}
+			iso, err := runScenario(p, fab, opts, seed, ti)
+			if err != nil {
+				return Result{}, err
+			}
+			res.TenantIsoP99Us[ti] = iso.TenantP99Us[ti]
+			res.TenantIsoP999Us[ti] = iso.TenantP999Us[ti]
+		}
+	}
+	return res, nil
+}
+
+// runScenario executes one sealed run. isolate < 0 starts every workload
+// group; isolate >= 0 constructs everything (preserving placement and QP
+// numbering) but starts — and collects — only the groups owned by that
+// tenant, producing the isolation baseline for interference metrics.
+func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, isolate int) (Result, error) {
+	slc, err := resolveSlicing(p, fab)
+	if err != nil {
+		return Result{}, err
+	}
 	polName := p.Policy
-	if polName == "" && p.QoS == QoSDedicated {
+	if polName == "" && (p.QoS == QoSDedicated || slc.vlarb != nil) {
 		polName = "vlarb"
 	}
 	pol, err := ibswitch.ParsePolicy(polName)
@@ -112,6 +158,10 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 		arb := ib.DedicatedVLArb()
 		vlarb = &arb
 	}
+	if slc.active {
+		sl2vl = slc.sl2vl
+		vlarb = slc.vlarb
+	}
 	c.SetSL2VL(sl2vl)
 	if vlarb != nil {
 		if err := c.SetVLArb(*vlarb); err != nil {
@@ -127,18 +177,31 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 
 	drain, probeSrc, bsgSrcs := placement(p)
 
-	// Construct and start groups in workload order; this order is part of
-	// the determinism contract (spec.go).
+	// Construct groups in workload order, then start them in the same
+	// order; both orders are part of the determinism contract (spec.go).
+	// The two phases are split so tenant injection limiters install after
+	// every QP exists but before the first event, and so isolation
+	// baselines can skip starting foreign groups without perturbing
+	// placement. Constructors schedule no events and draw no randomness,
+	// so the split is invisible to unsliced runs (the goldens lock this).
 	type started struct {
-		g     Group
-		bsgs  []*traffic.BSG
-		dstOf []int // alltoall: destination per flow
-		lsg   *traffic.LSG
-		rperf *core.Session
-		pf    *tools.Perftest
-		qp    *tools.Qperf
+		g      Group
+		bsgs   []*traffic.BSG
+		dstOf  []int // alltoall: destination per flow
+		lsg    *traffic.LSG
+		rperf  *core.Session
+		pf     *tools.Perftest
+		qp     *tools.Qperf
+		srcs   []int    // sending nodes, for limiter installation
+		starts []func() // deferred Start calls, construction order
 	}
 	var groups []*started
+	slFor := func(gi int, g Group) ib.SL {
+		if slc.active {
+			return slc.slOf[gi]
+		}
+		return ib.SL(g.SL)
+	}
 	servers := map[int]*host.Host{} // baseline tools share one server host per node
 	serverFor := func(node int) *host.Host {
 		if h, ok := servers[node]; ok {
@@ -149,7 +212,7 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 		return h
 	}
 	cursor := 0 // next unclaimed bulk-source slot
-	for _, g := range p.Workload {
+	for gi, g := range p.Workload {
 		sg := &started{g: g}
 		dst := drain
 		if g.Dst != nil {
@@ -164,13 +227,14 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 			for i := 0; i < count; i++ {
 				b, err := traffic.NewBSG(c.NIC(bsgSrcs[cursor+i]), c.NIC(dst), traffic.BSGConfig{
 					Payload: units.ByteSize(g.Payload),
-					SL:      ib.SL(g.SL),
+					SL:      slFor(gi, g),
 					MsgCost: units.Duration(g.MsgCostNs) * units.Nanosecond,
 				})
 				if err != nil {
 					return Result{}, err
 				}
-				b.Start(opts.start())
+				sg.starts = append(sg.starts, func() { b.Start(opts.start()) })
+				sg.srcs = append(sg.srcs, bsgSrcs[cursor+i])
 				sg.bsgs = append(sg.bsgs, b)
 			}
 			cursor += count
@@ -189,11 +253,12 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 			if g.Src != nil {
 				src = *g.Src
 			}
-			b, err := traffic.NewPretendLSG(c.NIC(src), c.NIC(dst), ib.SL(g.SL))
+			b, err := traffic.NewPretendLSG(c.NIC(src), c.NIC(dst), slFor(gi, g))
 			if err != nil {
 				return Result{}, err
 			}
-			b.Start(opts.start())
+			sg.starts = append(sg.starts, func() { b.Start(opts.start()) })
+			sg.srcs = append(sg.srcs, src)
 			sg.bsgs = append(sg.bsgs, b)
 		case GroupLSG:
 			src := probeSrc
@@ -202,13 +267,14 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 			}
 			l, err := traffic.NewLSG(c.NIC(src), ib.NodeID(dst), traffic.LSGConfig{
 				Payload: units.ByteSize(g.Payload),
-				SL:      ib.SL(g.SL),
+				SL:      slFor(gi, g),
 				Warmup:  opts.start(),
 			})
 			if err != nil {
 				return Result{}, err
 			}
-			l.Start()
+			sg.starts = append(sg.starts, l.Start)
+			sg.srcs = append(sg.srcs, src)
 			sg.lsg = l
 		case GroupRPerf:
 			src := 0
@@ -221,13 +287,14 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 			}
 			s, err := core.New(c.NIC(src), ib.NodeID(dst), core.Config{
 				Payload: units.ByteSize(payload),
-				SL:      ib.SL(g.SL),
+				SL:      slFor(gi, g),
 				Warmup:  opts.start(),
 			})
 			if err != nil {
 				return Result{}, err
 			}
-			s.Start()
+			sg.starts = append(sg.starts, s.Start)
+			sg.srcs = append(sg.srcs, src)
 			sg.rperf = s
 		case GroupPerftest:
 			src := 0
@@ -239,7 +306,8 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 			if err != nil {
 				return Result{}, err
 			}
-			pf.Start()
+			sg.starts = append(sg.starts, pf.Start)
+			sg.srcs = append(sg.srcs, src)
 			sg.pf = pf
 		case GroupQperf:
 			src := 0
@@ -251,7 +319,8 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 			if err != nil {
 				return Result{}, err
 			}
-			qp.Start()
+			sg.starts = append(sg.starts, qp.Start)
+			sg.srcs = append(sg.srcs, src)
 			sg.qp = qp
 		case GroupAllToAll:
 			spec := p.Topology.FatTree
@@ -263,19 +332,50 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 			if shifts == 0 {
 				shifts = spec.Leaves - 1
 			}
+			// Under tenancy, the every-host-sends pattern must not send
+			// from a host carrying another tenant's latency probe: the
+			// probe's QP would share a send engine with a 256-deep paced
+			// bulk queue, and that head-of-line wait is an engine-sharing
+			// artifact, not slice interference. Receiving there is fine —
+			// the receive path does not queue behind the send FIFOs.
+			skip := map[int]bool{}
+			if slc.active {
+				for oi, og := range p.Workload {
+					if slc.owner[oi] == slc.owner[gi] {
+						continue
+					}
+					probe := -1
+					switch og.Kind {
+					case GroupLSG:
+						probe = probeSrc
+					case GroupRPerf, GroupPerftest, GroupQperf:
+						probe = 0
+					default:
+						continue
+					}
+					if og.Src != nil {
+						probe = *og.Src
+					}
+					skip[probe] = true
+				}
+			}
 			// Round r shifts destinations by r whole leaves, so every
 			// flow leaves its source leaf and crosses the spine layer.
 			for r := 1; r <= shifts; r++ {
 				for i := 0; i < h; i++ {
+					if skip[i] {
+						continue
+					}
 					d := (i + r*spec.HostsPerLeaf) % h
 					b, err := traffic.NewBSG(c.NIC(i), c.NIC(d), traffic.BSGConfig{
 						Payload: units.ByteSize(g.Payload),
-						SL:      ib.SL(g.SL),
+						SL:      slFor(gi, g),
 					})
 					if err != nil {
 						return Result{}, err
 					}
-					b.Start(opts.start())
+					sg.starts = append(sg.starts, func() { b.Start(opts.start()) })
+					sg.srcs = append(sg.srcs, i)
 					sg.bsgs = append(sg.bsgs, b)
 					sg.dstOf = append(sg.dstOf, d)
 				}
@@ -286,12 +386,67 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 		groups = append(groups, sg)
 	}
 
+	// Install each tenant's shared injection limiter on its member NICs
+	// (first-seen order over owned groups' sources) before any generator
+	// runs, so the very first injected packet is already metered.
+	if slc.active {
+		for ti := range p.Tenants {
+			lim := slc.limiter[ti]
+			if lim == nil {
+				continue
+			}
+			seen := make(map[int]bool)
+			for gi, sg := range groups {
+				if slc.owner[gi] != ti {
+					continue
+				}
+				for _, n := range sg.srcs {
+					if !seen[n] {
+						seen[n] = true
+						c.NIC(n).SetInjectionLimit(ib.VL(ti), lim)
+					}
+				}
+			}
+		}
+	}
+
+	for gi, sg := range groups {
+		if isolate >= 0 && slc.owner[gi] != isolate {
+			continue
+		}
+		for _, start := range sg.starts {
+			start()
+		}
+	}
+
 	end := opts.end()
 	c.Eng.RunUntil(end)
 
 	// Collect in workload order; every reduction downstream preserves it.
+	// Isolation runs collect only the isolated tenant's groups — the rest
+	// never started, so their meters and histograms are empty.
 	res := Result{Duration: opts.Measure}
-	for _, sg := range groups {
+	if n := len(p.Tenants); n > 0 {
+		res.TenantGbps = make([]float64, n)
+		res.TenantConf = make([]float64, n)
+		res.TenantP99Us = make([]float64, n)
+		res.TenantP999Us = make([]float64, n)
+	}
+	tenantBulk := func(gi int, gbps float64) {
+		if ti := slc.owner[gi]; ti >= 0 {
+			res.TenantGbps[ti] += gbps
+		}
+	}
+	tenantTail := func(gi int, h *stats.Histogram) {
+		if ti := slc.owner[gi]; ti >= 0 && res.TenantP99Us[ti] == 0 && h.Count() > 0 {
+			res.TenantP99Us[ti] = h.QuantileDuration(0.99).Microseconds()
+			res.TenantP999Us[ti] = h.QuantileDuration(0.999).Microseconds()
+		}
+	}
+	for gi, sg := range groups {
+		if isolate >= 0 && slc.owner[gi] != isolate {
+			continue
+		}
 		switch sg.g.Kind {
 		case GroupBSG:
 			for _, b := range sg.bsgs {
@@ -299,19 +454,23 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 				g := b.Goodput().Gigabits()
 				res.BSGGbps = append(res.BSGGbps, g)
 				res.Total += g
+				tenantBulk(gi, g)
 			}
 		case GroupPretend:
 			b := sg.bsgs[0]
 			b.CloseAt(end)
 			res.Pretend = b.Goodput().Gigabits()
 			res.Total += res.Pretend
+			tenantBulk(gi, res.Pretend)
 		case GroupLSG:
 			res.LSGHist = sg.lsg.RTT()
 			res.LSG = sg.lsg.RTT().Summarize()
+			tenantTail(gi, sg.lsg.RTT())
 		case GroupRPerf:
 			sum := sg.rperf.Summary()
 			res.RPerfMedNs = sum.Median.Nanoseconds()
 			res.RPerfTailNs = sum.P999.Nanoseconds()
+			tenantTail(gi, sg.rperf.RTT())
 		case GroupPerftest:
 			res.PerftestP50Us = units.Duration(sg.pf.RTT().Median()).Microseconds()
 			res.PerftestP999Us = units.Duration(sg.pf.RTT().P999()).Microseconds()
@@ -324,10 +483,16 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 				g := b.Goodput().Gigabits()
 				res.Total += g
 				perDst[sg.dstOf[i]] += g
+				tenantBulk(gi, g)
 			}
 			if mn, mx := minMax(perDst); mx > 0 {
 				res.Fairness = mn / mx
 			}
+		}
+	}
+	for ti, t := range p.Tenants {
+		if t.PromisedGbps > 0 {
+			res.TenantConf[ti] = res.TenantGbps[ti] / t.PromisedGbps
 		}
 	}
 	return res, nil

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/ib"
 	"repro/internal/ibswitch"
 	"repro/internal/model"
 	"repro/internal/stats"
@@ -122,6 +123,47 @@ type Point struct {
 	VL1RateLimitGbps float64 `json:"vl1_rate_limit_gbps,omitempty"`
 	// Workload is the ordered list of traffic groups.
 	Workload Workload `json:"workload"`
+	// Tenants optionally slices the fabric between the workload groups:
+	// every group is owned by exactly one tenant, each tenant rides its own
+	// VL with arbitration weights derived from the promised rates, and a
+	// shared token bucket caps each tenant's aggregate injection at its
+	// promised rate (see DESIGN.md "Tenant slicing and conformance
+	// metrics"). Empty = no slicing.
+	Tenants []Tenant `json:"tenants,omitempty"`
+}
+
+// Tenant is one slice of the fabric: a promised aggregate rate, the
+// workload groups that belong to it, and how its traffic is tagged.
+type Tenant struct {
+	// Name labels the tenant in tables and errors.
+	Name string `json:"name"`
+	// PromisedGbps is the tenant's promised aggregate injection rate in
+	// Gb/s, accounted at wire size (headers included). It seeds both the
+	// injection token bucket and the tenant's VLArb weight.
+	PromisedGbps float64 `json:"promised_gbps"`
+	// BurstBytes sizes the injection bucket's burst allowance (0 = one
+	// maximum-size packet, the minimum workable burst).
+	BurstBytes int64 `json:"burst_bytes,omitempty"`
+	// SL is the service level the tenant's traffic is (re)tagged with;
+	// 0 means the default assignment, which is the tenant's index. Each
+	// tenant's effective SL must be distinct.
+	SL uint8 `json:"sl,omitempty"`
+	// HighPriority puts the tenant's VL in the high-priority arbitration
+	// table — the latency-tenant setting, mirroring the paper's dedicated
+	// SL configuration.
+	HighPriority bool `json:"high_priority,omitempty"`
+	// Groups lists the indices into Workload owned by this tenant. Every
+	// workload group must be owned by exactly one tenant.
+	Groups []int `json:"groups"`
+}
+
+// effectiveSL is the SL tenant i's traffic is tagged with: the declared SL,
+// or the tenant index when unset.
+func (p Point) effectiveSL(i int) ib.SL {
+	if p.Tenants[i].SL != 0 {
+		return ib.SL(p.Tenants[i].SL)
+	}
+	return ib.SL(i)
 }
 
 // Sweep axis fields.
@@ -373,7 +415,82 @@ func (p Point) validate(path string) error {
 			return fmt.Errorf("spec: %s.dst %d out of range [0, %d)", gp, *g.Dst, hosts)
 		}
 	}
+	return p.validateTenants(path)
+}
+
+func (p Point) validateTenants(path string) error {
+	if len(p.Tenants) == 0 {
+		return nil
+	}
+	if p.QoS != QoSShared {
+		return fmt.Errorf("spec: %s.tenants: slicing derives its own SL-to-VL setup and cannot combine with qos %q", path, p.QoS)
+	}
+	if len(p.Tenants) > ib.NumVLs {
+		return fmt.Errorf("spec: %s.tenants: %d tenants exceed the %d virtual lanes", path, len(p.Tenants), ib.NumVLs)
+	}
+	names := map[string]bool{}
+	sls := map[ib.SL]int{}
+	owner := make([]int, len(p.Workload))
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i, t := range p.Tenants {
+		tp := fmt.Sprintf("%s.tenants[%d]", path, i)
+		if t.Name == "" {
+			return fmt.Errorf("spec: %s.name is required", tp)
+		}
+		if names[t.Name] {
+			return fmt.Errorf("spec: %s.name %q appears twice", tp, t.Name)
+		}
+		names[t.Name] = true
+		if t.PromisedGbps <= 0 {
+			return fmt.Errorf("spec: %s.promised_gbps must be positive, got %g", tp, t.PromisedGbps)
+		}
+		if t.BurstBytes < 0 {
+			return fmt.Errorf("spec: %s.burst_bytes must be non-negative, got %d", tp, t.BurstBytes)
+		}
+		if t.SL > uint8(ib.MaxSL) {
+			return fmt.Errorf("spec: %s.sl %d exceeds max %d", tp, t.SL, ib.MaxSL)
+		}
+		sl := p.effectiveSL(i)
+		if j, dup := sls[sl]; dup {
+			return fmt.Errorf("spec: %s effective SL%d collides with tenants[%d] (0 defaults to the tenant index)", tp, sl, j)
+		}
+		sls[sl] = i
+		if len(t.Groups) == 0 {
+			return fmt.Errorf("spec: %s.groups must list at least one workload group", tp)
+		}
+		for _, gi := range t.Groups {
+			if gi < 0 || gi >= len(p.Workload) {
+				return fmt.Errorf("spec: %s.groups references workload[%d], out of range [0, %d)", tp, gi, len(p.Workload))
+			}
+			if owner[gi] >= 0 {
+				return fmt.Errorf("spec: %s.groups: workload[%d] already owned by tenants[%d]", tp, gi, owner[gi])
+			}
+			owner[gi] = i
+		}
+	}
+	for gi, own := range owner {
+		if own < 0 {
+			return fmt.Errorf("spec: %s.tenants: workload[%d] is owned by no tenant (slicing must cover the whole workload)", path, gi)
+		}
+	}
 	return nil
+}
+
+// tenantOwner maps each workload group index to its owning tenant index
+// (-1 without tenants). Call only on validated points.
+func (p Point) tenantOwner() []int {
+	owner := make([]int, len(p.Workload))
+	for i := range owner {
+		owner[i] = -1
+	}
+	for ti, t := range p.Tenants {
+		for _, gi := range t.Groups {
+			owner[gi] = ti
+		}
+	}
+	return owner
 }
 
 // ParseSpec decodes and validates a JSON spec. Unknown JSON fields are
@@ -425,6 +542,16 @@ type Metrics struct {
 	PerftestP50Us, PerftestP999Us, QperfMeanUs float64
 	// Fairness is the all-to-all min/max per-destination goodput ratio.
 	Fairness float64
+	// Tenant conformance, indexed by tenant declaration order and averaged
+	// per slot; empty without tenants. TenantIso* hold the same-seed
+	// isolation baseline (only the tenant under measurement running) and
+	// stay 0 for tenants without a latency group or single-tenant points.
+	TenantGbps      []float64 // delivered bulk goodput per tenant
+	TenantConf      []float64 // delivered / promised rate, per seed then averaged
+	TenantP99Us     []float64 // latency group p99 (lsg or rperf), contended run
+	TenantP999Us    []float64
+	TenantIsoP99Us  []float64 // same-seed isolation baseline
+	TenantIsoP999Us []float64
 }
 
 // metricTable maps Collect names to extraction + formatting. The format
@@ -444,6 +571,40 @@ var metricTable = map[string]func(Metrics) string{
 	"perftest_p999_us": func(m Metrics) string { return f2(m.PerftestP999Us) },
 	"qperf_mean_us":    func(m Metrics) string { return f2(m.QperfMeanUs) },
 	"fairness":         func(m Metrics) string { return f2(m.Fairness) },
+	// Tenant-slicing conformance family (all 0 without tenants).
+	"slice_gbps":     func(m Metrics) string { return f2(sum(m.TenantGbps)) },
+	"slice_conf_min": func(m Metrics) string { mn, _ := minMax(m.TenantConf); return f2(mn) },
+	"slice_conf_max": func(m Metrics) string { _, mx := minMax(m.TenantConf); return f2(mx) },
+	"slice_if_p99_pct": func(m Metrics) string {
+		return f1(worstInterferencePct(m.TenantP99Us, m.TenantIsoP99Us))
+	},
+	"slice_if_p999_pct": func(m Metrics) string {
+		return f1(worstInterferencePct(m.TenantP999Us, m.TenantIsoP999Us))
+	},
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// worstInterferencePct is the largest relative latency inflation any tenant
+// suffers against its isolation baseline, in percent (0 when no baseline
+// ran, and never negative: running faster than isolation is not
+// interference).
+func worstInterferencePct(full, iso []float64) float64 {
+	var worst float64
+	for i, f := range full {
+		if i < len(iso) && iso[i] > 0 && f > 0 {
+			if d := (f/iso[i] - 1) * 100; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
 }
 
 // MetricNames returns the valid Collect entries, sorted.
@@ -473,16 +634,22 @@ func reduceSeeds(results []Result) Metrics {
 	var meds, tails, pretends, totals []float64
 	var rmeds, rtails, pp50, pp999, qmean, fair []float64
 	var perBSG [][]float64
+	// Per-tenant arrays accumulate slot-wise like perBSG: every seed of a
+	// point declares the same tenants, so slot i is tenant i throughout.
+	var perTenant [6][][]float64
+	slot := func(dst *[][]float64, vals []float64) {
+		for i, v := range vals {
+			if i == len(*dst) {
+				*dst = append(*dst, nil)
+			}
+			(*dst)[i] = append((*dst)[i], v)
+		}
+	}
 	for _, r := range results {
 		meds = append(meds, r.LSG.Median.Microseconds())
 		tails = append(tails, r.LSG.P999.Microseconds())
 		m.LSGSamples += r.LSG.Count
-		for i, g := range r.BSGGbps {
-			if i == len(perBSG) {
-				perBSG = append(perBSG, nil)
-			}
-			perBSG[i] = append(perBSG[i], g)
-		}
+		slot(&perBSG, r.BSGGbps)
 		pretends = append(pretends, r.Pretend)
 		totals = append(totals, r.Total)
 		rmeds = append(rmeds, r.RPerfMedNs)
@@ -491,6 +658,9 @@ func reduceSeeds(results []Result) Metrics {
 		pp999 = append(pp999, r.PerftestP999Us)
 		qmean = append(qmean, r.QperfMeanUs)
 		fair = append(fair, r.Fairness)
+		for j, vals := range [6][]float64{r.TenantGbps, r.TenantConf, r.TenantP99Us, r.TenantP999Us, r.TenantIsoP99Us, r.TenantIsoP999Us} {
+			slot(&perTenant[j], vals)
+		}
 	}
 	m.LSGMedianUs = stats.Mean(meds)
 	m.LSGTailUs = stats.Mean(tails)
@@ -505,6 +675,11 @@ func reduceSeeds(results []Result) Metrics {
 	m.PerftestP999Us = stats.Mean(pp999)
 	m.QperfMeanUs = stats.Mean(qmean)
 	m.Fairness = stats.Mean(fair)
+	for j, dst := range [6]*[]float64{&m.TenantGbps, &m.TenantConf, &m.TenantP99Us, &m.TenantP999Us, &m.TenantIsoP99Us, &m.TenantIsoP999Us} {
+		for _, vals := range perTenant[j] {
+			*dst = append(*dst, stats.Mean(vals))
+		}
+	}
 	return m
 }
 

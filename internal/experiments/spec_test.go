@@ -136,6 +136,18 @@ func TestSpecValidationErrors(t *testing.T) {
 			`requires a fattree topology`},
 		{"missing base", `{"sweep":[{"field":"bsgs","counts":[1]}],"collect":["lsg_p50_us"]}`,
 			`base is required`},
+		{"tenants with dedicated qos", `{"base":{"topology":{"kind":"star"},"qos":"dedicated","workload":[{"kind":"bsg","count":2,"payload":4096}],"tenants":[{"name":"a","promised_gbps":10,"groups":[0]}]},"collect":["slice_gbps"]}`,
+			`cannot combine with qos "dedicated"`},
+		{"tenant nonpositive promise", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2,"payload":4096}],"tenants":[{"name":"a","groups":[0]}]},"collect":["slice_gbps"]}`,
+			`tenants[0].promised_gbps must be positive`},
+		{"tenant duplicate SL", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2,"payload":4096},{"kind":"lsg"}],"tenants":[{"name":"a","promised_gbps":10,"sl":1,"groups":[0]},{"name":"b","promised_gbps":10,"groups":[1]}]},"collect":["slice_gbps"]}`,
+			`effective SL1 collides with tenants[0]`},
+		{"tenant group out of range", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2,"payload":4096}],"tenants":[{"name":"a","promised_gbps":10,"groups":[1]}]},"collect":["slice_gbps"]}`,
+			`references workload[1], out of range [0, 1)`},
+		{"tenant double ownership", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2,"payload":4096},{"kind":"lsg"}],"tenants":[{"name":"a","promised_gbps":10,"groups":[0,1]},{"name":"b","promised_gbps":10,"groups":[1]}]},"collect":["slice_gbps"]}`,
+			`workload[1] already owned by tenants[0]`},
+		{"tenant incomplete coverage", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2,"payload":4096},{"kind":"lsg"}],"tenants":[{"name":"a","promised_gbps":10,"groups":[0]}]},"collect":["slice_gbps"]}`,
+			`workload[1] is owned by no tenant`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -322,6 +334,32 @@ func TestExportedSpecParses(t *testing.T) {
 		}
 		if _, err := ParseSpec(data); err != nil {
 			t.Errorf("%s: exported spec does not parse: %v", d.ID, err)
+		}
+	}
+}
+
+// Regression: an empty sweep axis multiplied the grid size down to zero,
+// so Points() returned an empty list — and a sweep an empty table — with
+// no error. Spec.Validate already rejects empty value lists in parsed
+// specs, but Points() is exported and reachable with a programmatically
+// built spec that was never validated; the resolver must fail loudly,
+// naming the offending axis.
+func TestPointsRejectEmptyAxis(t *testing.T) {
+	s := Spec{
+		Base: &Point{
+			Topology: topology.SpecStar,
+			Workload: Workload{{Kind: GroupLSG}},
+		},
+		Sweep:   []Axis{{Field: AxisBSGs}}, // no counts: Len() == 0
+		Collect: []string{"lsg_p50_us"},
+	}
+	pts, err := s.Points()
+	if err == nil {
+		t.Fatalf("Points() accepted an empty axis and returned %d points", len(pts))
+	}
+	for _, want := range []string{"sweep[0]", AxisBSGs} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
 		}
 	}
 }

@@ -67,7 +67,15 @@ func (s Spec) Points() ([]Point, error) {
 
 func (s Spec) resolvePoints() ([]resolvedPoint, error) {
 	n := 1
-	for _, ax := range s.Sweep {
+	for a, ax := range s.Sweep {
+		// An empty axis would multiply the grid down to zero points and
+		// produce an empty table with no error. Spec.Validate rejects empty
+		// value lists in parsed specs, but Points/resolvePoints are also
+		// reachable with programmatically-built specs that were never
+		// validated — fail loudly here too, naming the offending axis.
+		if ax.Len() == 0 {
+			return nil, fmt.Errorf("spec: sweep[%d] (field %q) has no values: an empty axis collapses the grid to zero points", a, ax.Field)
+		}
 		n *= ax.Len()
 	}
 	out := make([]resolvedPoint, 0, n)

@@ -95,3 +95,84 @@ func DedicatedVLArb() VLArbConfig {
 		HighLimit: WeightUnits(47),
 	}
 }
+
+// --- Tenant slicing (extension) ---------------------------------------------
+//
+// The slicing layer (internal/experiments) divides the fabric between
+// tenants: tenant i's traffic rides a dedicated VL, the switch arbitration
+// weights are derived from the promised rates so VLArb enforces each
+// tenant's share at the congested egress, and an injection-side token
+// bucket (internal/rnic) makes the share non-work-conserving. The two
+// functions below are the switch-side derivation.
+
+// SliceSL2VL builds the SL-to-VL table for tenant slices: sls[i] — tenant
+// i's service level — maps to VL i; every other SL keeps VL0.
+func SliceSL2VL(sls []SL) (SL2VL, error) {
+	if len(sls) > NumVLs {
+		return SL2VL{}, fmt.Errorf("ib: %d tenant SLs exceed the %d virtual lanes", len(sls), NumVLs)
+	}
+	var t SL2VL
+	var seen [int(MaxSL) + 1]bool
+	for i, sl := range sls {
+		if sl > MaxSL {
+			return SL2VL{}, fmt.Errorf("ib: tenant %d SL%d exceeds max %d", i, sl, MaxSL)
+		}
+		if seen[sl] {
+			return SL2VL{}, fmt.Errorf("ib: SL%d assigned to two tenants", sl)
+		}
+		seen[sl] = true
+		t[sl] = VL(i)
+	}
+	return t, nil
+}
+
+// sliceRoundUnits is the total arbitration weight a slice table distributes
+// across tenants, in 64 B units: 128 units = 8 KB per full round, a couple
+// of maximum-size packets per tenant at typical splits — small enough that
+// a latency-sensitive VL is revisited quickly, large enough that integer
+// weight rounding distorts the promised shares by well under a percent.
+const sliceRoundUnits = 128
+
+// SliceVLArb derives an arbitration table from per-tenant promised rates:
+// tenant i's VL i gets a weight proportional to its promised share, so DRR
+// divides a congested egress in the promised ratio. Tenants flagged high
+// go in the high-priority table — served ahead of the others whenever they
+// have traffic and HighLimit (the sum of the high weights) is not yet
+// exhausted — which is what keeps a latency tenant's small messages from
+// waiting behind a full bulk round.
+func SliceVLArb(promisedGbps []float64, high []bool) (VLArbConfig, error) {
+	if len(promisedGbps) > NumVLs {
+		return VLArbConfig{}, fmt.Errorf("ib: %d tenants exceed the %d virtual lanes", len(promisedGbps), NumVLs)
+	}
+	if len(high) != len(promisedGbps) {
+		return VLArbConfig{}, fmt.Errorf("ib: %d high flags for %d tenants", len(high), len(promisedGbps))
+	}
+	var sum float64
+	for i, p := range promisedGbps {
+		if p <= 0 {
+			return VLArbConfig{}, fmt.Errorf("ib: tenant %d promised rate must be positive, got %g", i, p)
+		}
+		sum += p
+	}
+	var cfg VLArbConfig
+	for i, p := range promisedGbps {
+		w := int(float64(sliceRoundUnits)*p/sum + 0.5)
+		if w < 1 {
+			w = 1
+		}
+		if w > 255 { // the IB weight field is a byte
+			w = 255
+		}
+		e := VLArbEntry{VL: VL(i), Weight: WeightUnits(w)}
+		if high[i] {
+			cfg.High = append(cfg.High, e)
+			cfg.HighLimit += e.Weight
+		} else {
+			cfg.Low = append(cfg.Low, e)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return VLArbConfig{}, err
+	}
+	return cfg, nil
+}

@@ -73,3 +73,58 @@ func TestDedicatedVLArbShareMatchesCalibration(t *testing.T) {
 		t.Fatalf("VL1 share = %.3f, want ~0.46", share)
 	}
 }
+
+func TestSliceSL2VL(t *testing.T) {
+	tbl, err := SliceSL2VL([]SL{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Map(0) != 0 || tbl.Map(5) != 1 {
+		t.Fatalf("mapping wrong: SL0->%d SL5->%d", tbl.Map(0), tbl.Map(5))
+	}
+	if tbl.Map(3) != 0 {
+		t.Fatalf("unassigned SL should keep VL0, got %d", tbl.Map(3))
+	}
+	if _, err := SliceSL2VL([]SL{2, 2}); err == nil {
+		t.Fatal("duplicate SL accepted")
+	}
+	if _, err := SliceSL2VL(make([]SL, NumVLs+1)); err == nil {
+		t.Fatal("more tenants than VLs accepted")
+	}
+}
+
+func TestSliceVLArbWeights(t *testing.T) {
+	// 36/12 promised split: weights 96/32 units of the 128-unit round,
+	// exactly the 3:1 promised ratio; the high tenant's weight becomes the
+	// HighLimit.
+	cfg, err := SliceVLArb([]float64{36, 12}, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Low) != 1 || cfg.Low[0].VL != 0 || cfg.Low[0].Weight != WeightUnits(96) {
+		t.Fatalf("low table = %+v", cfg.Low)
+	}
+	if len(cfg.High) != 1 || cfg.High[0].VL != 1 || cfg.High[0].Weight != WeightUnits(32) {
+		t.Fatalf("high table = %+v", cfg.High)
+	}
+	if cfg.HighLimit != WeightUnits(32) {
+		t.Fatalf("HighLimit = %d", cfg.HighLimit)
+	}
+	// A tiny share still gets a positive weight.
+	cfg, err = SliceVLArb([]float64{1000, 0.1}, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Low[1].Weight < 64 {
+		t.Fatalf("tiny tenant weight = %d, want >= one unit", cfg.Low[1].Weight)
+	}
+	if _, err := SliceVLArb([]float64{10, 0}, []bool{false, false}); err == nil {
+		t.Fatal("non-positive promised rate accepted")
+	}
+	if _, err := SliceVLArb([]float64{10}, nil); err == nil {
+		t.Fatal("mismatched high flags accepted")
+	}
+}

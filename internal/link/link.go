@@ -176,6 +176,11 @@ type vlState struct {
 	reserved units.ByteSize // reserved by sender, not yet arrived (in flight)
 	escrow   units.ByteSize // released by departures, withheld from sender
 	waiters  []waiter
+	// hadWaiters latches once a reservation has ever queued on this VL. It
+	// is the cheap always-on witness for Unreserve's safety contract: the
+	// hook-skipping there is only sound on gates that never queue waiters
+	// (see the Unreserve doc comment).
+	hadWaiters bool
 
 	arr     rateEstimator
 	dep     rateEstimator
@@ -346,6 +351,7 @@ func (g *BufferGate) reserveQueued(vl ib.VL, wt waiter) {
 		return
 	}
 	s.minAvail = 0 // a queued waiter means the sender is credit-limited
+	s.hadWaiters = true
 	s.waiters = append(s.waiters, wt)
 }
 
@@ -366,9 +372,15 @@ func (g *BufferGate) reserveQueued(vl ib.VL, wt waiter) {
 // If gates ever gain multiple reservers (e.g. shared output buffers),
 // Unreserve must notify hooks like scheduleRelease does;
 // TestTrunkArbitrationUnreserveNoStall (internal/topology) guards the
-// current contract end to end.
+// current contract end to end, and the hadWaiters check below promotes the
+// single-reserver assumption to an always-on invariant: a gate that has
+// ever queued a waiter is RNIC-fed, and an Unreserve on it means a second
+// reserver appeared whose hooks (and waiters' wake-ups) would be skipped.
 func (g *BufferGate) Unreserve(vl ib.VL, bytes units.ByteSize) {
 	s := &g.vls[vl]
+	if s.hadWaiters {
+		panic("link: Unreserve on a VL that has queued waiters — hook-skipping is only safe under single-reserver wiring (see Unreserve doc)")
+	}
 	if s.reserved < bytes {
 		panic("link: unreserve exceeds reserved bytes")
 	}

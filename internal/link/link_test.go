@@ -413,3 +413,24 @@ func TestGateWaiterImmediateGrant(t *testing.T) {
 		t.Fatalf("available = %d after immediate waiter grant, want 600", g.Available(0))
 	}
 }
+
+// Unreserve's hook-skipping is documented safe only under single-reserver
+// wiring: a gate that queues waiters is RNIC-fed and must never see
+// Unreserve (only arbitrating switch egresses call it, and their gates
+// never queue). The invariant is checked always-on; this test trips it.
+func TestUnreserveOnWaitedVLPanics(t *testing.T) {
+	eng := sim.New()
+	g := newGate(eng, 1000)
+	if !g.TryReserve(0, 800) {
+		t.Fatal("reserve failed")
+	}
+	// Exhaust the window so the next reservation queues: the VL now has
+	// (and latches) waiters, marking the gate RNIC-fed.
+	g.ReserveWhenAvailable(0, 400, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unreserve on a VL with queued waiters did not panic")
+		}
+	}()
+	g.Unreserve(0, 800)
+}

@@ -135,6 +135,10 @@ type RNIC struct {
 	wire     *link.Wire // toward the fabric; set by Attach
 	loopWire *link.Wire // internal loopback path
 	sl2vl    ib.SL2VL
+	// limits are per-VL injection token buckets (tenant slicing; see
+	// injection.go). Possibly shared across NICs; nil entries are
+	// unlimited.
+	limits [ib.NumVLs]*InjectionLimiter
 
 	engines []*engine // data engines
 	ctrl    *engine   // responder engine: ACKs, READ responses
@@ -567,6 +571,9 @@ type txPacket struct {
 	occupancy units.Duration
 	wire      *link.Wire
 	reserved  bool
+	// admitted records that the injection limiter already charged this
+	// packet, so a credit-blocked resume does not charge it twice.
+	admitted bool
 	// udComplete, when set, delivers the UD completion (Fig. 1c: CQE as
 	// soon as the request is on the wire) — stored inline rather than as a
 	// captured closure.
@@ -678,6 +685,19 @@ func (e *engine) process() {
 		return
 	}
 	vl := e.r.vlOf(head.pkt)
+	// Tenant slicing: data packets bound for the fabric pass the VL's
+	// injection bucket before reserving credits (see injection.go for why
+	// loopback and ACK traffic is exempt). Tokens are charged exactly once
+	// per packet, before any credit wait, so a blocked head holds its
+	// admission across CreditGranted resumes.
+	if lim := e.r.limits[vl]; lim != nil && !head.admitted &&
+		head.wire == e.r.wire && head.pkt.Kind == ib.KindData {
+		if at, ok := lim.admitAt(now, head.pkt.WireSize()); !ok {
+			e.wake(at)
+			return
+		}
+		head.admitted = true
+	}
 	if !head.reserved {
 		if !head.wire.Gate().TryReserve(vl, head.pkt.WireSize()) {
 			// Block on credits without capturing a closure: the engine is

@@ -374,3 +374,51 @@ func TestRoundRobinQPEngineAssignment(t *testing.T) {
 		t.Errorf("completion gap %v suggests engines serialized (occupancy %v)", gap, occ)
 	}
 }
+
+func TestInjectionLimiterCapsSingleSource(t *testing.T) {
+	// A 20 Gb/s injection bucket on VL0 caps an otherwise ~52 Gb/s
+	// open-loop flow at the promised wire rate (goodput excludes the 52 B
+	// header overhead: 20 * 4096/4148 ≈ 19.7 Gb/s).
+	c := topology.BackToBack(model.HWTestbed(), 5)
+	lim := rnic.NewInjectionLimiter(20*units.Gbps, 0)
+	c.NIC(0).SetInjectionLimit(0, lim)
+	bw := openLoopBandwidth(t, c, 0, 1, 4096, 2*units.Millisecond)
+	want := 20.0 * 4096 / (4096 + float64(ib.MaxHeaderBytes))
+	if g := bw.Gigabits(); math.Abs(g-want) > 0.5 {
+		t.Errorf("goodput = %.2f Gb/s, want ~%.2f (limited)", g, want)
+	}
+}
+
+func TestInjectionLimiterSharedAcrossNICs(t *testing.T) {
+	// One bucket installed on two senders bounds their AGGREGATE rate:
+	// the slice is per tenant, not per NIC.
+	c := topology.Star(model.HWTestbed(), 7, 9)
+	lim := rnic.NewInjectionLimiter(24*units.Gbps, 0)
+	c.NIC(0).SetInjectionLimit(0, lim)
+	c.NIC(1).SetInjectionLimit(0, lim)
+	meter := stats.NewBandwidthMeter()
+	dur := 2 * units.Millisecond
+	warm := units.Time(0).Add(dur / 5)
+	meter.Open(warm)
+	c.NIC(6).OnDeliver = func(pkt *ib.Packet, wireEnd units.Time) {
+		if pkt.Kind == ib.KindData {
+			meter.Record(wireEnd, pkt.Payload)
+		}
+	}
+	for _, src := range []int{0, 1} {
+		n := c.NIC(src)
+		qp := n.CreateQP(ib.RC, 6, 0)
+		var post func()
+		post = func() { n.PostSend(qp, ib.VerbWrite, 4096, func(units.Time) { post() }) }
+		for i := 0; i < 64; i++ {
+			post()
+		}
+	}
+	end := units.Time(0).Add(dur)
+	c.Eng.RunUntil(end)
+	meter.Close(end)
+	want := 24.0 * 4096 / (4096 + float64(ib.MaxHeaderBytes))
+	if g := meter.Goodput().Gigabits(); math.Abs(g-want) > 0.7 {
+		t.Errorf("aggregate goodput = %.2f Gb/s, want ~%.2f (shared bucket)", g, want)
+	}
+}

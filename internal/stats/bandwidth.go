@@ -71,18 +71,37 @@ func (m *BandwidthMeter) Messages() uint64 { return m.messages }
 // Window reports the measurement window duration.
 func (m *BandwidthMeter) Window() units.Duration { return m.end.Sub(m.start) }
 
-// Goodput reports payload bandwidth across the window.
-func (m *BandwidthMeter) Goodput() units.Bandwidth {
+// effectiveWindow is the duration Goodput and MessageRate divide by. A
+// window can end up zero-width only when every delivery landed at the
+// window-open instant (Close never stretched it); reporting 0 for such a
+// window would misread "traffic arrived too fast to time" as "no traffic"
+// — a divide-by-zero guard masquerading as a measurement. The defined
+// semantics: a degenerate window with recorded data spans the minimum
+// representable tick (one picosecond), so the reported rate is finite,
+// positive, and an honest upper bound. With no data the rate is 0 and the
+// window never matters.
+func (m *BandwidthMeter) effectiveWindow() units.Duration {
 	d := m.Window()
+	if d <= 0 && m.messages > 0 {
+		return units.Picosecond
+	}
+	return d
+}
+
+// Goodput reports payload bandwidth across the window (0 when nothing was
+// delivered; see effectiveWindow for the zero-width-window semantics).
+func (m *BandwidthMeter) Goodput() units.Bandwidth {
+	d := m.effectiveWindow()
 	if d <= 0 {
 		return 0
 	}
 	return units.Rate(m.bytes, d)
 }
 
-// MessageRate reports delivered messages per second.
+// MessageRate reports delivered messages per second (0 when nothing was
+// delivered; see effectiveWindow for the zero-width-window semantics).
 func (m *BandwidthMeter) MessageRate() float64 {
-	d := m.Window()
+	d := m.effectiveWindow()
 	if d <= 0 {
 		return 0
 	}

@@ -110,3 +110,24 @@ func TestBandwidthMeterClosedExcludesLateDeliveries(t *testing.T) {
 		t.Fatalf("reopened meter did not record: bytes=%d", m.Bytes())
 	}
 }
+
+// Regression: a zero-width window with delivered bytes reported 0 — the
+// divide-by-zero guard masquerading as a measurement. The defined
+// semantics: deliveries all at the window-open instant span the minimum
+// one-picosecond tick, so the rate is finite and positive; only a window
+// with no deliveries reports 0.
+func TestBandwidthMeterZeroWidthWindowWithData(t *testing.T) {
+	m := NewBandwidthMeter()
+	m.Open(1000)
+	m.Record(1000, 4096) // delivered exactly at the open instant
+	m.Close(1000)
+	if m.Window() != 0 {
+		t.Fatalf("window = %v, want 0", m.Window())
+	}
+	if got, want := m.Goodput(), units.Rate(4096, units.Picosecond); got != want {
+		t.Fatalf("Goodput = %v, want one-tick rate %v", got, want)
+	}
+	if got, want := m.MessageRate(), 1/units.Picosecond.Seconds(); got != want {
+		t.Fatalf("MessageRate = %v, want %v", got, want)
+	}
+}

@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/big"
 	"math/bits"
 	"slices"
 
@@ -130,10 +131,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q >= 1 {
 		return h.max
 	}
-	rank := uint64(math.Ceil(q * float64(h.total)))
-	if rank < 1 {
-		rank = 1
-	}
+	rank := ceilRank(q, h.total)
 	var seen uint64
 	// Only [minExp, maxExp] can hold counts; the other ~50 exponent rows
 	// of the bucket matrix are provably empty and skipped.
@@ -255,12 +253,35 @@ func ExactQuantile(samples []int64, q float64) int64 {
 	if q >= 1 {
 		return s[len(s)-1]
 	}
-	rank := int(math.Ceil(q*float64(len(s)))) - 1
-	if rank < 0 {
-		rank = 0
+	return s[ceilRank(q, uint64(len(s)))-1]
+}
+
+// ceilRank returns ceil(q·total) computed exactly, clamped to [1, total].
+// The float64 product is wrong exactly where it matters most: q values like
+// 0.999 and 0.99 are not binary-representable, and their nearest doubles
+// sit slightly above the decimal value, so q·total at an integral boundary
+// (q=0.999, total=1000) rounds up to the next rank — a systematic off-by-one
+// at round totals — and beyond 2^53 the product loses integer resolution
+// entirely. Rational arithmetic over q's exact binary value keeps the rank
+// exact for every float64 q and every total.
+func ceilRank(q float64, total uint64) uint64 {
+	r := new(big.Rat).SetFloat64(q)
+	r.Mul(r, new(big.Rat).SetInt(new(big.Int).SetUint64(total)))
+	num, den := r.Num(), r.Denom()
+	ceil := new(big.Int).Add(num, new(big.Int).Sub(den, big.NewInt(1)))
+	ceil.Quo(ceil, den)
+	if ceil.Sign() < 1 {
+		return 1
 	}
-	if rank >= len(s) {
-		rank = len(s) - 1
+	if !ceil.IsUint64() {
+		return total
 	}
-	return s[rank]
+	rank := ceil.Uint64()
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	return rank
 }

@@ -262,3 +262,79 @@ func TestExactQuantileEdgeCases(t *testing.T) {
 		t.Fatal("ExactQuantile mutated input")
 	}
 }
+
+// Regression: q·total computed in float64 is off by one at integral
+// boundaries. 0.999 is not binary-representable — its nearest double sits
+// just above the decimal value, so 0.999*1000 lands at 999.0000000000001
+// and Ceil picks rank 1000 instead of 999. With 999 zeros and a single 1,
+// the correct 0.999-quantile is 0 (the 999th smallest sample); the
+// float-rank bug returned the outlier.
+func TestQuantileIntegralBoundaryRank(t *testing.T) {
+	h := NewHistogram()
+	var samples []int64
+	for i := 0; i < 999; i++ {
+		h.Record(0)
+		samples = append(samples, 0)
+	}
+	h.Record(1)
+	samples = append(samples, 1)
+	want := ExactQuantile(samples, 0.999)
+	if want != 0 {
+		t.Fatalf("ExactQuantile = %d, want 0", want)
+	}
+	if got := h.Quantile(0.999); got != want {
+		t.Fatalf("Quantile(0.999) = %d, want %d", got, want)
+	}
+}
+
+// Property: for values below the sub-bucket count the histogram is exact,
+// so Quantile must agree with ExactQuantile everywhere — including the
+// boundary q values whose float products overshoot integral ranks.
+func TestPropertyQuantileMatchesExactAtBoundaries(t *testing.T) {
+	qs := []float64{0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999}
+	totals := []int{1, 2, 3, 4, 10, 99, 100, 500, 999, 1000, 2000, 10000}
+	src := rng.New(17)
+	for _, n := range totals {
+		h := NewHistogram()
+		samples := make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			v := int64(src.Uint64() % 64) // bucket-exact range
+			h.Record(v)
+			samples = append(samples, v)
+		}
+		for _, q := range qs {
+			if got, want := h.Quantile(q), ExactQuantile(samples, q); got != want {
+				t.Fatalf("n=%d q=%v: Quantile=%d ExactQuantile=%d", n, q, got, want)
+			}
+		}
+	}
+}
+
+// ceilRank stays exact for totals beyond float64's 2^53 integer range and
+// clamps to [1, total].
+func TestCeilRankExactness(t *testing.T) {
+	cases := []struct {
+		q     float64
+		total uint64
+		want  uint64
+	}{
+		{0.999, 1000, 999},
+		{0.99, 100, 99},
+		{0.5, 10, 5},
+		{0.5, 11, 6},
+		{1e-12, 5, 1},           // rank floor
+		{0.999999, 1, 1},        // single sample
+		{0.5, 1 << 60, 1 << 59}, // beyond 2^53: float64 would lose resolution
+	}
+	for _, c := range cases {
+		if got := ceilRank(c.q, c.total); got != c.want {
+			t.Fatalf("ceilRank(%v, %d) = %d, want %d", c.q, c.total, got, c.want)
+		}
+	}
+	// 2^62 · 0.5 must be exactly 2^61; the float product would be exact here,
+	// but 2^62·0.999 is not: verify the rational rank is within [1, total]
+	// and monotone near the top.
+	if got := ceilRank(0.999, 1<<62); got < 1 || got > 1<<62 {
+		t.Fatalf("ceilRank out of range: %d", got)
+	}
+}
