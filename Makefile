@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-debugpackets golden smoke-examples smoke-specs ci
+.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-shard test-debugpackets golden smoke-examples smoke-specs ci
 
 all: vet build test
 
@@ -62,13 +62,24 @@ bench-compare:
 test-alloc:
 	$(GO) test -run 'ZeroAlloc' -v .
 
+# test-shard runs the sharded-execution equivalence suite under -race: the
+# conservative coordinator's barrier modes, the cross-shard wire/credit
+# path, and the byte-equality of shards=1 vs sharded runs at every layer
+# (topology completion times, full experiment tables). -race matters here:
+# the channel-barrier mode is the only concurrent code in the simulator
+# core, and these tests drive it with real cross-shard traffic.
+test-shard:
+	$(GO) test -race -run 'Shard|CrossWire|CrossGate|FatTree3|RunBefore' \
+		./internal/sim/ ./internal/link/ ./internal/topology/ ./internal/experiments/
+
 # test-debugpackets runs the whole suite with the packet-pool poison mode
 # enabled, catching use-after-release and double-release of pooled packets.
 test-debugpackets:
 	$(GO) test -tags debugpackets ./...
 
-# golden regenerates the determinism golden files (fig7a star sweep and
-# fat-tree incast sweep) after an intentional model change.
+# golden regenerates the determinism golden files (fig7a star sweep,
+# fat-tree incast sweep, and the sharded bigfabric sweeps) after an
+# intentional model change.
 golden:
 	$(GO) test ./internal/experiments/ -run 'GoldenFile' -update
 
@@ -95,4 +106,4 @@ smoke-specs:
 		$(GO) run ./cmd/ibsim run -spec "$$f" -measure 3ms -warmup 1ms -seeds 1 >/dev/null; \
 	done
 
-ci: vet build test race cover test-alloc test-debugpackets smoke-examples
+ci: vet build test race cover test-alloc test-shard test-debugpackets smoke-examples

@@ -9,7 +9,8 @@
 //	    extension experiments and the fat-tree suite).
 //
 //	ibsim run -spec file.json [-measure 12ms] [-warmup 3ms] [-seeds 3]
-//	          [-parallel 0] [-format text|csv|jsonl] [-out path] [-generic]
+//	          [-parallel 0] [-shards 0] [-format text|csv|jsonl] [-out path]
+//	          [-generic]
 //	    Execute a declarative experiment spec through the generic sweep
 //	    engine — arbitrary novel scenarios without recompiling. If the
 //	    spec's id matches a registered experiment, the registry's table
@@ -101,6 +102,7 @@ func cmdRun(args []string) {
 	warmup := fs.Duration("warmup", 3*time.Millisecond, "simulated warmup before measuring")
 	seeds := fs.Int("seeds", 3, "number of seeds to average (paper: 3 runs)")
 	parallel := fs.Int("parallel", 0, "scenario worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	shards := fs.Int("shards", 0, "override the spec's shard count (0 = use the spec; three-tier fat-trees admit up to one shard per pod)")
 	format := fs.String("format", "text", "output format: text, csv or jsonl")
 	out := fs.String("out", "", "output file (default stdout)")
 	generic := fs.Bool("generic", false, "force the generic one-row-per-point layout even for registered ids")
@@ -115,6 +117,15 @@ func cmdRun(args []string) {
 	spec, err := experiments.ParseSpec(data)
 	if err != nil {
 		fatal(err)
+	}
+	if *shards != 0 {
+		// Re-validate after the override so out-of-range values fail with
+		// the spec validator's error, which quotes the valid range derived
+		// from the topology (1..Pods for three-tier fat-trees, else 1).
+		spec.Base.Shards = *shards
+		if err := spec.Validate(); err != nil {
+			fatal(err)
+		}
 	}
 	opts := experiments.Options{
 		Measure:  units.Duration(measure.Nanoseconds()) * units.Nanosecond,

@@ -26,6 +26,7 @@ func init() {
 	registerExtensions()
 	registerFatTreeSuite()
 	registerSliceSuite()
+	registerBigFabric()
 }
 
 // Register adds a definition. It panics on duplicate or empty IDs and on

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/host"
@@ -146,9 +147,20 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 	if err != nil {
 		return Result{}, err
 	}
-	c, err := p.Topology.Build(fab, seed)
+	shards := p.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	c, err := p.Topology.BuildShards(fab, seed, shards)
 	if err != nil {
 		return Result{}, err
+	}
+	if c.Coord != nil {
+		// The channel-based barrier only pays for itself with real cores
+		// behind it; results are identical either way, so on one core (or
+		// when the caller pinned the run sequential) use the round-based
+		// loop. opts.Parallel == 1 is the sweep runner's sequential pin.
+		c.Coord.Parallel = shards > 1 && opts.Parallel != 1 && runtime.GOMAXPROCS(0) > 1
 	}
 	c.SetPolicy(pol)
 	sl2vl := ib.SL2VL{}
@@ -330,7 +342,7 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 			h := spec.NumHosts()
 			shifts := g.Count
 			if shifts == 0 {
-				shifts = spec.Leaves - 1
+				shifts = spec.TotalLeaves() - 1
 			}
 			// Under tenancy, the every-host-sends pattern must not send
 			// from a host carrying another tenant's latency probe: the
@@ -420,7 +432,7 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 	}
 
 	end := opts.end()
-	c.Eng.RunUntil(end)
+	c.RunUntil(end)
 
 	// Collect in workload order; every reduction downstream preserves it.
 	// Isolation runs collect only the isolated tenant's groups — the rest
@@ -530,7 +542,7 @@ func placement(p Point) (drain, probeSrc int, bsgSrcs []int) {
 			}
 		}
 		for h := 0; h < spec.HostsPerLeaf; h++ {
-			for l := 0; l < spec.Leaves; l++ {
+			for l := 0; l < spec.TotalLeaves(); l++ {
 				if n := spec.HostNode(l, h); !skip[n] {
 					bsgSrcs = append(bsgSrcs, n)
 				}

@@ -121,6 +121,12 @@ type Point struct {
 	// VL1RateLimitGbps caps VL1's switch bandwidth (0 = unlimited), the
 	// rate-limit extension experiment.
 	VL1RateLimitGbps float64 `json:"vl1_rate_limit_gbps,omitempty"`
+	// Shards splits the run across per-shard engines synchronized by the
+	// conservative protocol (0 or 1 = the plain single-engine path). Only
+	// three-tier fat-trees can be cut, at pod granularity; results are
+	// byte-identical for every valid value (see DESIGN.md "Sharded
+	// execution").
+	Shards int `json:"shards,omitempty"`
 	// Workload is the ordered list of traffic groups.
 	Workload Workload `json:"workload"`
 	// Tenants optionally slices the fabric between the workload groups:
@@ -380,6 +386,16 @@ func (p Point) validate(path string) error {
 	}
 	if p.VL1RateLimitGbps < 0 {
 		return fmt.Errorf("spec: %s.vl1_rate_limit_gbps must be non-negative, got %g", path, p.VL1RateLimitGbps)
+	}
+	if p.Shards < 0 {
+		return fmt.Errorf("spec: %s.shards must be non-negative, got %d", path, p.Shards)
+	}
+	if p.Shards > 1 {
+		ft := p.Topology.FatTree
+		if p.Topology.Kind != topology.KindFatTree || ft == nil || ft.Tiers != 3 || p.Shards > ft.Pods {
+			return fmt.Errorf("spec: %s.shards %d out of range for topology %s (valid: %s)",
+				path, p.Shards, p.Topology.Label(), p.Topology.ShardRange())
+		}
 	}
 	if len(p.Workload) == 0 {
 		return fmt.Errorf("spec: %s.workload must list at least one traffic group", path)

@@ -116,6 +116,18 @@ func TestSpecValidationErrors(t *testing.T) {
 			`kind "ring" unknown (valid: backtoback, fattree, star, twotier)`},
 		{"port budget violation", `{"base":{"topology":{"kind":"fattree","fattree":{"leaves":2,"hosts_per_leaf":11,"spines":2,"max_ports":12}},"workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
 			`exceeds port budget`},
+		{"unknown fattree field", `{"base":{"topology":{"kind":"fattree","fattree":{"leaves":2,"hosts_per_leaf":2,"spines":1,"bogus":1}},"workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`unknown field "bogus"`},
+		{"tiers out of range", `{"base":{"topology":{"kind":"fattree","fattree":{"tiers":4,"leaves":2,"hosts_per_leaf":2,"spines":1}},"workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`tiers 4 out of range (valid: 2, 3)`},
+		{"pods without three tiers", `{"base":{"topology":{"kind":"fattree","fattree":{"pods":2,"leaves":2,"hosts_per_leaf":2,"spines":1}},"workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`require tiers 3`},
+		{"three-tier core over budget", `{"base":{"topology":{"kind":"fattree","fattree":{"tiers":3,"pods":8,"leaves":2,"hosts_per_leaf":2,"spines":2,"max_ports":12}},"workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`core radix`},
+		{"shards beyond pods", `{"base":{"topology":{"kind":"fattree","fattree":{"tiers":3,"pods":4,"leaves":2,"hosts_per_leaf":2,"spines":1}},"shards":8,"workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`shards 8 out of range for topology 4p2x2+1s+1c (valid: 1..4)`},
+		{"shards on unshardable topology", `{"base":{"topology":{"kind":"star"},"shards":2,"workload":[{"kind":"lsg"}]},"collect":["lsg_p50_us"]}`,
+			`shards 2 out of range for topology star (valid: 1)`},
 		{"unknown group kind", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsgx"}]},"collect":["lsg_p50_us"]}`,
 			`workload[0].kind "bsgx" unknown`},
 		{"missing payload", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2}]},"collect":["lsg_p50_us"]}`,

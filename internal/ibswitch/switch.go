@@ -123,7 +123,13 @@ type Port struct {
 	idx int
 
 	// Ingress.
-	gate   *link.BufferGate
+	gate *link.BufferGate
+	// xacct, when non-nil, replaces the port's own BufferGate as the
+	// occupancy bookkeeping the ingress drives on arrival and departure —
+	// the receiver half of a cross-shard credit gate (SetIngressCross).
+	// Nil on every local port, so the common path keeps its direct
+	// devirtualized BufferGate calls and pays one predictable branch.
+	xacct  link.IngressAccounting
 	queues [ib.NumVLs]vlQueue
 	qbytes [ib.NumVLs]units.ByteSize
 	// vlMask has bit v set iff queues[v] is non-empty — the queue-head
@@ -132,8 +138,14 @@ type Port struct {
 	vlMask  uint16
 	departH departHandler
 
-	// Egress.
-	wire         *link.Wire
+	// Egress. wire is the attached transmitter; lwire is the same object
+	// when it is a local *link.Wire (nil for a cross-shard CrossWire), so
+	// the per-packet Send devirtualizes on the common path. egate/eunres
+	// cache the downstream credit gate and its optional Unreserver half,
+	// resolved once at attach time — pick and unreserve run per packet and
+	// must not pay an interface Gate() call or a type assertion each time.
+	// (lwire/egate/eunres live at the struct tail, below.)
+	wire         link.Tx
 	prop         units.Duration
 	egressFreeAt units.Time
 	scheduled    *sim.Event // the single pending pick, if any
@@ -148,6 +160,11 @@ type Port struct {
 	// elig is the arbiter's candidate scratch, reused across picks so
 	// steady-state arbitration performs no growing appends.
 	elig []candidate
+
+	// Devirtualization caches for the egress (see the wire comment above).
+	lwire  *link.Wire
+	egate  link.Gate
+	eunres link.Unreserver
 }
 
 // HandleEvent runs the pending egress evaluation (the typed form of the old
@@ -162,6 +179,10 @@ func (p *Port) HandleEvent(*sim.Event) {
 type departHandler struct{ p *Port }
 
 func (d *departHandler) HandleEvent(ev *sim.Event) {
+	if d.p.xacct != nil {
+		d.p.xacct.OnDepart(ib.VL(ev.A), units.ByteSize(ev.B))
+		return
+	}
 	d.p.gate.OnDepart(ib.VL(ev.A), units.ByteSize(ev.B))
 }
 
@@ -275,11 +296,35 @@ func (sw *Switch) SetRoute(node ib.NodeID, port int) {
 func (sw *Switch) AttachPeer(i int, linkPar model.LinkParams, peer link.Endpoint, peerGate link.Gate) {
 	p := sw.ports[i]
 	p.prop = linkPar.Propagation
-	p.wire = link.NewWire(sw.eng, fmt.Sprintf("%s.p%d", sw.name, i), linkPar.Bandwidth, linkPar.Propagation, peer, peerGate)
-	if bg, ok := peerGate.(*link.BufferGate); ok {
+	p.lwire = link.NewWire(sw.eng, fmt.Sprintf("%s.p%d", sw.name, i), linkPar.Bandwidth, linkPar.Propagation, peer, peerGate)
+	p.wire = p.lwire
+	p.egate = p.lwire.Gate()
+	p.eunres, _ = p.egate.(link.Unreserver)
+	if rn, ok := peerGate.(link.ReleaseNotifier); ok {
 		// Re-arm this egress whenever the downstream buffer frees space.
-		bg.OnRelease(func() { sw.kick(p) })
+		rn.OnRelease(func() { sw.kick(p) })
 	}
+}
+
+// AttachCross wires port i's egress to a link.CrossWire toward a device on
+// another shard. The wire's sender-side gate re-kicks this egress when
+// mailbox credits land, exactly as a local BufferGate's release hook does.
+func (sw *Switch) AttachCross(i int, w *link.CrossWire) {
+	p := sw.ports[i]
+	p.prop = w.Propagation()
+	p.wire = w
+	p.lwire = nil
+	p.egate = w.Gate()
+	p.eunres, _ = p.egate.(link.Unreserver)
+	p.egate.(link.ReleaseNotifier).OnRelease(func() { sw.kick(p) })
+}
+
+// SetIngressCross replaces port i's ingress accounting with the receiver
+// half of a cross-shard credit gate: the upstream transmitter reserves from
+// the remote CrossSendGate, and this port's arrivals/departures drive the
+// credit returns. The port's local BufferGate is left idle.
+func (sw *Switch) SetIngressCross(i int, g link.IngressAccounting) {
+	sw.ports[i].xacct = g
 }
 
 // IngressGate exposes port i's ingress credit gate (the upstream
@@ -305,7 +350,11 @@ func (p *Port) deliver(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
 	}
 	vl := sw.sl2vl.Map(pkt.SL)
 	pkt.VL = vl
-	p.gate.OnArrive(vl, pkt.WireSize())
+	if p.xacct != nil {
+		p.xacct.OnArrive(vl, pkt.WireSize())
+	} else {
+		p.gate.OnArrive(vl, pkt.WireSize())
+	}
 	ready := arriveStart.Add(sw.par.BaseLatency)
 	if sw.par.JitterMean > 0 {
 		ready = ready.Add(units.Duration(sw.jitter.Exp(float64(sw.par.JitterMean))))
@@ -445,7 +494,7 @@ func (sw *Switch) pick(out *Port) {
 					continue
 				}
 			}
-			if !out.wire.Gate().TryReserve(ib.VL(vl), head.size) {
+			if !out.egate.TryReserve(ib.VL(vl), head.size) {
 				// Downstream credits exhausted; the gate's release hook
 				// will re-kick this egress.
 				continue
@@ -483,10 +532,11 @@ func (sw *Switch) pick(out *Port) {
 }
 
 // unreserve gives back a tentative downstream reservation. The Unlimited
-// gate ignores this; BufferGate gets the bytes back via a zero-cost cycle.
+// gate ignores this; BufferGate and CrossSendGate get the bytes back via a
+// zero-cost cycle.
 func (sw *Switch) unreserve(out *Port, c candidate) {
-	if bg, ok := out.wire.Gate().(*link.BufferGate); ok {
-		bg.Unreserve(c.vl, c.qp.size)
+	if out.eunres != nil {
+		out.eunres.Unreserve(c.vl, c.qp.size)
 	}
 }
 
@@ -691,7 +741,12 @@ func (sw *Switch) transmit(out *Port, c candidate, activeInputs int) {
 	if sw.OnForward != nil {
 		sw.OnForward(qp.pkt, qp.arrival, now)
 	}
-	end := out.wire.Send(qp.pkt)
+	var end units.Time
+	if out.lwire != nil {
+		end = out.lwire.Send(qp.pkt)
+	} else {
+		end = out.wire.Send(qp.pkt)
+	}
 	ser := end.Sub(now) // Wire.Send returns injection end (pre-propagation)
 	// Egress rearbitration overhead: the empirical quadratic fit described
 	// in model.SwitchParams. It extends the egress busy period but not the

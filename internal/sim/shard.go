@@ -1,0 +1,314 @@
+// Conservative parallel simulation: a Coordinator advances N per-shard
+// Engines in lockstep epochs of one lookahead each (the classic
+// null-message/barrier insight specialized to barriers).
+//
+// The contract is determinism by grouping-independence. Simulation objects
+// are partitioned onto shards; objects in different shards may interact
+// ONLY through cross-shard channels (Chan), whose messages carry a modeled
+// latency of at least the coordinator's lookahead. Then:
+//
+//   - Every message sent during the epoch [t, t+L) is due at or after t+L,
+//     so when an epoch opens, every message due inside it has already been
+//     exchanged at the preceding barrier. No shard can ever observe an
+//     event "from the past" — the conservative guarantee.
+//
+//   - Messages are inserted into the destination engine sorted by
+//     (At, channel id, per-channel seq) — a total order that depends only
+//     on what was sent, never on which shard sent it or when the sending
+//     shard's engine ran. Channel ids are assigned in construction order,
+//     which the topology layer keeps fixed across shard counts.
+//
+//   - The epoch grid {0, L, 2L, ...} depends only on the lookahead, which
+//     the topology layer derives from the link parameters, not from the
+//     shard count.
+//
+// Together these make a run a pure function of (configuration, seed): the
+// same objects execute the same events at the same timestamps whether they
+// are grouped onto 1, 2 or N shards, and whether the barrier is the
+// round-based sequential loop or the channel-based parallel one. The
+// equivalence tests in internal/experiments lock this end to end.
+package sim
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// Msg is a deferred cross-shard event: a typed Handler dispatch (the same
+// shape as Event's payload) routed through the destination shard's mailbox
+// instead of scheduled directly. The payload fields mirror Event's and are
+// copied onto the inserted event verbatim.
+type Msg struct {
+	At     units.Time
+	Label  string
+	H      Handler
+	Ptr    any
+	T0, T1 units.Time
+	A, B   int64
+
+	ch  int32  // channel id: the mailbox sort key after At
+	seq uint64 // per-channel send counter: the final tie-break
+}
+
+// Shard is one engine of a sharded run plus its mailbox of exchanged but
+// not yet inserted messages.
+type Shard struct {
+	ID  int
+	Eng *Engine
+
+	pending []Msg // exchanged messages, sorted by (At, ch, seq) when !dirty
+	dirty   bool  // pending grew since it was last sorted
+}
+
+// Chan is one direction of one cross-shard coupling: a packet path or a
+// credit-return path. Sends append to a buffer owned by the sending shard
+// until the next barrier moves it into the destination mailbox, so no lock
+// is held on the hot path. A channel's sends are totally ordered by its
+// sequence counter; together with the channel id this makes mailbox
+// insertion order independent of shard grouping (see the package comment).
+type Chan struct {
+	id     int32
+	seq    uint64
+	src    *Shard
+	dst    *Shard
+	minLag units.Duration
+	box    []Msg
+}
+
+// Send enqueues a Handler dispatch on the destination shard at absolute
+// time at. It returns a pointer for the caller to fill payload fields,
+// valid only until the next Send on the same channel (the buffer may move).
+// A send closer than the channel's declared latency floor panics: it would
+// break the conservative guarantee, not just reorder events.
+func (ch *Chan) Send(at units.Time, label string, h Handler) *Msg {
+	now := ch.src.Eng.Now()
+	if at.Sub(now) < ch.minLag {
+		panic(fmt.Sprintf("sim: cross-shard send %q at %v violates the %v lookahead (now %v)", label, at, ch.minLag, now))
+	}
+	if h == nil {
+		panic(fmt.Sprintf("sim: nil handler for cross-shard %q", label))
+	}
+	ch.box = append(ch.box, Msg{At: at, Label: label, H: h, ch: ch.id, seq: ch.seq})
+	ch.seq++
+	return &ch.box[len(ch.box)-1]
+}
+
+// Coordinator synchronizes shards over a fixed epoch grid.
+type Coordinator struct {
+	shards    []*Shard
+	chans     []*Chan
+	lookahead units.Duration
+	// Parallel selects the channel-based barrier: one persistent goroutine
+	// per shard, fed an epoch at a time and joined before the exchange.
+	// False (the default) is the round-based reference loop — the only
+	// sensible mode on one core. Results are identical either way; the
+	// race detector over the parallel mode is part of `make test-shard`.
+	Parallel bool
+}
+
+// NewCoordinator builds n shards advancing in epochs of the given
+// lookahead. Zero (or negative) lookahead is rejected: a zero-latency cut
+// admits no conservative window at all, so such a link cannot be sharded.
+func NewCoordinator(n int, lookahead units.Duration) (*Coordinator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: coordinator needs at least one shard, got %d", n)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: conservative sharding needs positive lookahead, got %v", lookahead)
+	}
+	c := &Coordinator{lookahead: lookahead}
+	for i := 0; i < n; i++ {
+		c.shards = append(c.shards, &Shard{ID: i, Eng: New()})
+	}
+	return c, nil
+}
+
+// NumShards reports the shard count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Shard returns shard i.
+func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+
+// Lookahead reports the epoch length.
+func (c *Coordinator) Lookahead() units.Duration { return c.lookahead }
+
+// Channel opens a message channel from shard src to shard dst (src == dst
+// is the degenerate self-loop a one-shard run uses, so the message path —
+// and therefore the schedule — does not depend on the shard count). minLag
+// declares the channel's modeled latency floor; it must cover the
+// coordinator's lookahead or the epoch grid would be unsound.
+func (c *Coordinator) Channel(src, dst int, minLag units.Duration) (*Chan, error) {
+	if minLag < c.lookahead {
+		return nil, fmt.Errorf("sim: channel latency %v below the coordinator lookahead %v", minLag, c.lookahead)
+	}
+	ch := &Chan{id: int32(len(c.chans)), src: c.shards[src], dst: c.shards[dst], minLag: minLag}
+	c.chans = append(c.chans, ch)
+	return ch, nil
+}
+
+// RunUntil advances every shard to absolute time end: epochs of one
+// lookahead each, a barrier and message exchange between epochs, and a
+// final partial epoch that executes events at exactly end (matching
+// Engine.RunUntil's inclusive deadline).
+func (c *Coordinator) RunUntil(end units.Time) {
+	start := c.shards[0].Eng.Now()
+	for _, s := range c.shards {
+		if s.Eng.Now() != start {
+			panic("sim: coordinator shards out of step")
+		}
+	}
+	if c.Parallel && len(c.shards) > 1 {
+		c.runChannelBarrier(start, end)
+		return
+	}
+	c.runRounds(start, end)
+}
+
+// nextHorizon computes the end of the epoch opening at t; final epochs run
+// inclusively to end.
+func (c *Coordinator) nextHorizon(t, end units.Time) (horizon units.Time, final bool) {
+	h := t.Add(c.lookahead)
+	if h > end {
+		return end, true
+	}
+	return h, false
+}
+
+// runRounds is the sequential reference loop: shards run each epoch in ID
+// order on the calling goroutine.
+func (c *Coordinator) runRounds(start, end units.Time) {
+	for t := start; ; {
+		horizon, final := c.nextHorizon(t, end)
+		for _, s := range c.shards {
+			s.runEpoch(horizon, final)
+		}
+		c.exchange()
+		if final {
+			return
+		}
+		t = horizon
+	}
+}
+
+// epochCmd is one barrier round handed to a shard worker.
+type epochCmd struct {
+	horizon units.Time
+	final   bool
+}
+
+// runChannelBarrier runs epochs with one persistent worker goroutine per
+// shard. The coordinator alone touches mailboxes and channel buffers, and
+// only between barriers; command send and WaitGroup join order every
+// coordinator access strictly before/after the workers' epoch, so the
+// parallel mode is race-free by construction (and `go test -race` checks
+// the construction).
+func (c *Coordinator) runChannelBarrier(start, end units.Time) {
+	n := len(c.shards)
+	cmds := make([]chan epochCmd, n)
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		cmds[i] = make(chan epochCmd)
+		go func(s *Shard, in <-chan epochCmd) {
+			for ep := range in {
+				s.runEpoch(ep.horizon, ep.final)
+				wg.Done()
+			}
+		}(s, cmds[i])
+	}
+	for t := start; ; {
+		horizon, final := c.nextHorizon(t, end)
+		wg.Add(n)
+		for _, ch := range cmds {
+			ch <- epochCmd{horizon, final}
+		}
+		wg.Wait()
+		c.exchange()
+		if final {
+			break
+		}
+		t = horizon
+	}
+	for _, ch := range cmds {
+		close(ch)
+	}
+}
+
+// runEpoch inserts the messages due in the epoch and executes it: events
+// strictly before the horizon, or inclusively for the final epoch.
+func (s *Shard) runEpoch(horizon units.Time, final bool) {
+	s.deliverDue(horizon, final)
+	if final {
+		s.Eng.RunUntil(horizon)
+	} else {
+		s.Eng.RunBefore(horizon)
+	}
+}
+
+// deliverDue schedules every pending message with At < horizon (<= for the
+// final, inclusive epoch) on the shard's engine. A message due at exactly
+// the epoch's opening boundary is scheduled at now, after the events the
+// previous epoch left at that timestamp — the same relative order a
+// one-shard run produces, because exchange always happens after the epoch
+// that sent the message.
+func (s *Shard) deliverDue(horizon units.Time, inclusive bool) {
+	if s.dirty {
+		slices.SortFunc(s.pending, msgCompare)
+		s.dirty = false
+	}
+	n := 0
+	for n < len(s.pending) {
+		at := s.pending[n].At
+		if at > horizon || (at == horizon && !inclusive) {
+			break
+		}
+		n++
+	}
+	for i := 0; i < n; i++ {
+		m := &s.pending[i]
+		ev := s.Eng.AtEvent(m.At, m.Label, m.H)
+		ev.Ptr, ev.T0, ev.T1, ev.A, ev.B = m.Ptr, m.T0, m.T1, m.A, m.B
+	}
+	if n > 0 {
+		rest := copy(s.pending, s.pending[n:])
+		clear(s.pending[rest:]) // drop payload references
+		s.pending = s.pending[:rest]
+	}
+}
+
+// exchange moves every channel's sends into its destination mailbox. The
+// mailbox is resorted lazily on the next delivery; (At, ch, seq) is a total
+// order, so the append order across channels is irrelevant.
+func (c *Coordinator) exchange() {
+	for _, ch := range c.chans {
+		if len(ch.box) == 0 {
+			continue
+		}
+		d := ch.dst
+		d.pending = append(d.pending, ch.box...)
+		d.dirty = true
+		clear(ch.box) // drop payload references
+		ch.box = ch.box[:0]
+	}
+}
+
+// msgCompare orders mailbox messages by (At, channel, seq).
+func msgCompare(a, b Msg) int {
+	switch {
+	case a.At != b.At:
+		if a.At < b.At {
+			return -1
+		}
+		return 1
+	case a.ch != b.ch:
+		return int(a.ch) - int(b.ch)
+	case a.seq != b.seq:
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}

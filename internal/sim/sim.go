@@ -267,6 +267,24 @@ func (e *Engine) RunUntil(deadline units.Time) {
 	}
 }
 
+// RunBefore executes events with timestamps strictly before horizon, then
+// advances the clock to the horizon. The shard coordinator runs each
+// non-final epoch with it: events at exactly the horizon belong to the next
+// epoch, after the barrier has exchanged any cross-shard messages due at
+// that same instant (see shard.go).
+func (e *Engine) RunBefore(horizon units.Time) {
+	e.stopped = false
+	for !e.stopped {
+		if e.queue.len() == 0 || e.queue.min().at >= horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
 // RunFor executes events within the next d of simulated time.
 func (e *Engine) RunFor(d units.Duration) {
 	e.RunUntil(e.now.Add(d))

@@ -40,12 +40,39 @@ type FatTreeSpec struct {
 	// TrunkLink overrides the leaf-to-spine (or leaf-to-leaf) cable
 	// parameters (nil = the fabric default).
 	TrunkLink *model.LinkParams `json:"trunk_link,omitempty"`
+	// Tiers selects the fabric depth: 0 (the default) or 2 builds the
+	// two-layer fabric above; 3 builds Pods copies of the two-layer block
+	// under a layer of core switches (see fattree3.go). Three-tier fabrics
+	// are the ones the shard partitioner can cut.
+	Tiers int `json:"tiers,omitempty"`
+	// Pods is the number of two-layer blocks of a three-tier fabric
+	// (required, ≥ 2, when Tiers is 3).
+	Pods int `json:"pods,omitempty"`
+	// Cores is the number of core switches of a three-tier fabric
+	// (default: Spines).
+	Cores int `json:"cores,omitempty"`
+	// CoreTrunks is the number of parallel cables between each spine-core
+	// pair (default: Trunks).
+	CoreTrunks int `json:"core_trunks,omitempty"`
+	// CoreLink overrides the spine-to-core cable parameters (nil =
+	// TrunkLink, else the fabric default). Its propagation delay is the
+	// conservative lookahead when the fabric is sharded, so long core
+	// cables buy coarse synchronization epochs.
+	CoreLink *model.LinkParams `json:"core_link,omitempty"`
 }
 
 // withDefaults fills unset optional fields.
 func (s FatTreeSpec) withDefaults() FatTreeSpec {
 	if s.Trunks == 0 {
 		s.Trunks = 1
+	}
+	if s.Tiers == 3 {
+		if s.Cores == 0 {
+			s.Cores = s.Spines
+		}
+		if s.CoreTrunks == 0 {
+			s.CoreTrunks = s.Trunks
+		}
 	}
 	return s
 }
@@ -64,6 +91,14 @@ func (s FatTreeSpec) uplinks() int {
 // Validate checks structural sanity and the port budget.
 func (s FatTreeSpec) Validate() error {
 	s = s.withDefaults()
+	switch s.Tiers {
+	case 0, 2, 3:
+	default:
+		return fmt.Errorf("topology: fat-tree tiers %d out of range (valid: 2, 3)", s.Tiers)
+	}
+	if s.Tiers != 3 && (s.Pods != 0 || s.Cores != 0 || s.CoreTrunks != 0 || s.CoreLink != nil) {
+		return fmt.Errorf("topology: pods/cores/core_trunks/core_link require tiers 3")
+	}
 	if s.Leaves < 1 {
 		return fmt.Errorf("topology: fat-tree needs at least one leaf, got %d", s.Leaves)
 	}
@@ -72,6 +107,9 @@ func (s FatTreeSpec) Validate() error {
 	}
 	if s.Spines < 0 || s.Trunks < 1 {
 		return fmt.Errorf("topology: fat-tree spine/trunk counts must be non-negative (spines=%d trunks=%d)", s.Spines, s.Trunks)
+	}
+	if s.Tiers == 3 {
+		return s.validateThreeTier()
 	}
 	if s.Spines == 0 && s.Leaves > 2 {
 		return fmt.Errorf("topology: %d leaves need at least one spine (only 1- and 2-leaf fabrics may be spineless)", s.Leaves)
@@ -89,8 +127,49 @@ func (s FatTreeSpec) Validate() error {
 	return nil
 }
 
+// validateThreeTier checks the pod/core structure; the caller has already
+// applied defaults and validated the leaf-layer fields.
+func (s FatTreeSpec) validateThreeTier() error {
+	if s.Pods < 2 {
+		return fmt.Errorf("topology: a three-tier fat-tree needs at least two pods, got %d", s.Pods)
+	}
+	if s.Spines < 1 {
+		return fmt.Errorf("topology: a three-tier fat-tree needs at least one spine per pod, got %d", s.Spines)
+	}
+	if s.Cores < 1 || s.CoreTrunks < 1 {
+		return fmt.Errorf("topology: three-tier core counts must be positive (cores=%d core_trunks=%d)", s.Cores, s.CoreTrunks)
+	}
+	if s.MaxPorts > 0 {
+		if r := s.HostsPerLeaf + s.Spines*s.Trunks; r > s.MaxPorts {
+			return fmt.Errorf("topology: leaf radix %d exceeds port budget %d", r, s.MaxPorts)
+		}
+		if r := s.Leaves*s.Trunks + s.Cores*s.CoreTrunks; r > s.MaxPorts {
+			return fmt.Errorf("topology: spine radix %d exceeds port budget %d", r, s.MaxPorts)
+		}
+		if r := s.Pods * s.Spines * s.CoreTrunks; r > s.MaxPorts {
+			return fmt.Errorf("topology: core radix %d exceeds port budget %d", r, s.MaxPorts)
+		}
+	}
+	return nil
+}
+
 // NumHosts is the total host count of the fabric.
-func (s FatTreeSpec) NumHosts() int { return s.Leaves * s.HostsPerLeaf }
+func (s FatTreeSpec) NumHosts() int {
+	n := s.Leaves * s.HostsPerLeaf
+	if s.Tiers == 3 {
+		n *= s.Pods
+	}
+	return n
+}
+
+// TotalLeaves is the fabric-wide leaf count: Leaves per pod times the pod
+// count for three-tier fabrics, plain Leaves otherwise.
+func (s FatTreeSpec) TotalLeaves() int {
+	if s.Tiers == 3 {
+		return s.Leaves * s.Pods
+	}
+	return s.Leaves
+}
 
 // HostNode returns the node id of host h (0-based) under leaf l.
 func (s FatTreeSpec) HostNode(l, h int) int { return l*s.HostsPerLeaf + h }
@@ -99,16 +178,23 @@ func (s FatTreeSpec) HostNode(l, h int) int { return l*s.HostsPerLeaf + h }
 func (s FatTreeSpec) LeafOf(node int) int { return node / s.HostsPerLeaf }
 
 func (s FatTreeSpec) String() string {
+	if s.Tiers == 3 {
+		return fmt.Sprintf("%dp%dx%d+%ds+%dc", s.Pods, s.Leaves, s.HostsPerLeaf, s.Spines, s.withDefaults().Cores)
+	}
 	return fmt.Sprintf("%dx%d+%ds", s.Leaves, s.HostsPerLeaf, s.Spines)
 }
 
 // FatTree builds a two-layer fabric with automatically derived
-// destination-based routing. Node numbering is leaf-major: host h of leaf l
-// is node l*HostsPerLeaf + h.
+// destination-based routing (or, for Tiers == 3, the three-tier fabric on a
+// single shard). Node numbering is leaf-major: host h of (global) leaf l is
+// node l*HostsPerLeaf + h.
 func FatTree(par model.FabricParams, spec FatTreeSpec, seed uint64) (*Cluster, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.Tiers == 3 {
+		return FatTree3(par, spec, seed, 1)
 	}
 	hosts := make([]int, spec.Leaves)
 	for i := range hosts {

@@ -1,0 +1,270 @@
+// Three-tier fat-tree generation and shard partitioning. A three-tier
+// fabric is Pods copies of the two-layer pod block (leaves + spines, wired
+// and routed exactly like fattree.go's builder) under a layer of core
+// switches every pod's spines connect to.
+//
+// The spine-core links are where the shard partitioner cuts: their
+// propagation delay is the conservative lookahead (see internal/sim's
+// package comment). To keep results byte-identical for ANY shard count,
+// every spine-core link routes through a cross-shard channel — including at
+// shards=1, where the channels are self-loops. The core layer therefore
+// uses the split plain-window credit gate (link.CrossSendGate/CrossRecvGate)
+// at every shard count: the frozen-occupancy BufferGate needs same-tick
+// visibility of the receiver's buffer, which a positive-latency cut cannot
+// provide, and modeling long core cables with explicit FC-update credits is
+// the physically honest choice anyway. No two-layer experiment (and none of
+// the pre-existing goldens) traverses a core link, so their behavior is
+// untouched.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/ibswitch"
+	"repro/internal/link"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Cut is one partition boundary: the spine-core links between a pod and a
+// core switch placed on different shards.
+type Cut struct {
+	Pod       int
+	Core      int
+	Lookahead units.Duration
+}
+
+// PartitionPlan assigns the pods and cores of a three-tier fabric to
+// shards, and reports the cuts and the conservative lookahead they admit.
+type PartitionPlan struct {
+	Shards int
+	// PodShard[p] is the shard owning pod p: contiguous pod ranges, so a
+	// shard's pods are neighbors and the plan is a pure function of
+	// (Pods, Shards).
+	PodShard []int
+	// CoreShard[k] is the shard owning core switch k (round-robin).
+	CoreShard []int
+	// Lookahead is the epoch length: the minimum propagation delay over all
+	// cut links. With one core-link parameter set it is simply that link's
+	// propagation delay — importantly, independent of the shard count.
+	Lookahead units.Duration
+	// Cuts lists the pod-core boundaries whose endpoints live on different
+	// shards (empty at Shards == 1).
+	Cuts []Cut
+}
+
+// coreLink resolves the spine-core cable parameters: CoreLink, else
+// TrunkLink, else the fabric default.
+func (s FatTreeSpec) coreLink(par model.FabricParams) model.LinkParams {
+	if s.CoreLink != nil {
+		return *s.CoreLink
+	}
+	return resolveLink(par, s.TrunkLink)
+}
+
+// Partition cuts a three-tier fabric at pod boundaries. shards must be in
+// [1, Pods]; the error names the valid range. A non-positive core-link
+// propagation delay is rejected even at shards=1: the core layer always
+// routes through the conservative channels, and a zero-lookahead cut admits
+// no conservative window.
+func Partition(spec FatTreeSpec, shards int, par model.FabricParams) (*PartitionPlan, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Tiers != 3 {
+		return nil, fmt.Errorf("topology: only three-tier fat-trees partition (tiers=%d)", spec.Tiers)
+	}
+	if shards < 1 || shards > spec.Pods {
+		return nil, fmt.Errorf("topology: %d shards out of range for %s (valid: 1..%d)", shards, spec, spec.Pods)
+	}
+	lk := spec.coreLink(par)
+	if lk.Propagation <= 0 {
+		return nil, fmt.Errorf("topology: core link propagation %v admits no conservative lookahead (must be positive)", lk.Propagation)
+	}
+	plan := &PartitionPlan{Shards: shards, Lookahead: lk.Propagation}
+	for p := 0; p < spec.Pods; p++ {
+		plan.PodShard = append(plan.PodShard, p*shards/spec.Pods)
+	}
+	for k := 0; k < spec.Cores; k++ {
+		plan.CoreShard = append(plan.CoreShard, k%shards)
+	}
+	for p := 0; p < spec.Pods; p++ {
+		for k := 0; k < spec.Cores; k++ {
+			if plan.PodShard[p] != plan.CoreShard[k] {
+				plan.Cuts = append(plan.Cuts, Cut{Pod: p, Core: k, Lookahead: lk.Propagation})
+			}
+		}
+	}
+	return plan, nil
+}
+
+// FatTree3 builds a three-tier fabric split across shards engines under a
+// sim.Coordinator (stored on the returned Cluster; drive the run with
+// Cluster.RunUntil). Construction order — switches, NICs, wires, channels —
+// is a pure function of the spec, never of the shard count, which is what
+// makes shards=1..Pods produce identical schedules.
+//
+// Port numbering: leaf ports are 0..HostsPerLeaf-1 for hosts, then
+// HostsPerLeaf+s*Trunks+t toward spine s; spine ports are l*Trunks+t down
+// to leaf l, then Leaves*Trunks+k*CoreTrunks+t up to core k; core ports are
+// (p*Spines+s)*CoreTrunks+t toward spine s of pod p.
+//
+// Routing extends the two-layer derivation: a leaf sends foreign traffic up
+// by destination modulo its uplinks; a spine sends foreign-pod traffic up
+// by destination modulo its core uplinks; a core reaches the destination
+// pod via spine dst%Spines. All choices are pure functions of the
+// destination, so flows stay single-path and in-order.
+func FatTree3(par model.FabricParams, spec FatTreeSpec, seed uint64, shards int) (*Cluster, error) {
+	spec = spec.withDefaults()
+	plan, err := Partition(spec, shards, par)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := sim.NewCoordinator(shards, plan.Lookahead)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Eng:    coord.Shard(0).Eng,
+		Coord:  coord,
+		Params: par,
+		root:   rng.New(seed),
+	}
+	hostLink := resolveLink(par, spec.HostLink)
+	trunkLink := resolveLink(par, spec.TrunkLink)
+	coreLk := spec.coreLink(par)
+	H, uplinks := spec.HostsPerLeaf, spec.Spines*spec.Trunks
+
+	// Switches, in fixed construction order: each pod's leaves then spines,
+	// then the cores.
+	leaves := make([][]*ibswitch.Switch, spec.Pods)
+	spines := make([][]*ibswitch.Switch, spec.Pods)
+	for p := 0; p < spec.Pods; p++ {
+		eng := coord.Shard(plan.PodShard[p]).Eng
+		for l := 0; l < spec.Leaves; l++ {
+			name := fmt.Sprintf("pod%d.leaf%d", p, l)
+			sw := ibswitch.New(eng, name, par.Switch, H+uplinks, c.RNG(name))
+			leaves[p] = append(leaves[p], sw)
+			c.Switches = append(c.Switches, sw)
+		}
+		for s := 0; s < spec.Spines; s++ {
+			name := fmt.Sprintf("pod%d.spine%d", p, s)
+			sw := ibswitch.New(eng, name, par.Switch, spec.Leaves*spec.Trunks+spec.Cores*spec.CoreTrunks, c.RNG(name))
+			spines[p] = append(spines[p], sw)
+			c.Switches = append(c.Switches, sw)
+		}
+	}
+	cores := make([]*ibswitch.Switch, spec.Cores)
+	for k := range cores {
+		name := fmt.Sprintf("core%d", k)
+		cores[k] = ibswitch.New(coord.Shard(plan.CoreShard[k]).Eng, name, par.Switch, spec.Pods*spec.Spines*spec.CoreTrunks, c.RNG(name))
+		c.Switches = append(c.Switches, cores[k])
+	}
+
+	// Hosts, in node order (pod-major = global-leaf-major).
+	node := 0
+	for p := range leaves {
+		eng := coord.Shard(plan.PodShard[p]).Eng
+		for _, sw := range leaves[p] {
+			for h := 0; h < H; h++ {
+				nic := c.addNICOn(eng, node)
+				nic.Attach(link.NewWire(eng, fmt.Sprintf("n%d->%s", node, sw.Name()),
+					hostLink.Bandwidth, hostLink.Propagation, sw.Ingress(h), sw.IngressGate(h)))
+				sw.AttachPeer(h, hostLink, nic, link.Unlimited{})
+				node++
+			}
+		}
+	}
+
+	// Intra-pod trunks: plain local wires, both directions.
+	for p := range leaves {
+		for l, leaf := range leaves[p] {
+			for s, spine := range spines[p] {
+				for t := 0; t < spec.Trunks; t++ {
+					pL, pS := H+s*spec.Trunks+t, l*spec.Trunks+t
+					leaf.AttachPeer(pL, trunkLink, spine.Ingress(pS), spine.IngressGate(pS))
+					spine.AttachPeer(pS, trunkLink, leaf.Ingress(pL), leaf.IngressGate(pL))
+				}
+			}
+		}
+	}
+
+	// Spine-core links: always conservative channels, both directions. The
+	// channel creation order below fixes the channel ids (part of the
+	// mailbox's total order), so it must not depend on the shard placement.
+	for p := 0; p < spec.Pods; p++ {
+		for s := 0; s < spec.Spines; s++ {
+			for k := 0; k < spec.Cores; k++ {
+				for t := 0; t < spec.CoreTrunks; t++ {
+					spinePort := spec.Leaves*spec.Trunks + k*spec.CoreTrunks + t
+					corePort := (p*spec.Spines+s)*spec.CoreTrunks + t
+					if err := crossAttach(coord, coreLk, par.Switch,
+						spines[p][s], plan.PodShard[p], spinePort,
+						cores[k], plan.CoreShard[k], corePort); err != nil {
+						return nil, err
+					}
+					if err := crossAttach(coord, coreLk, par.Switch,
+						cores[k], plan.CoreShard[k], corePort,
+						spines[p][s], plan.PodShard[p], spinePort); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Routes, derived for every (switch, destination) pair.
+	podHosts := spec.Leaves * H
+	for dn := 0; dn < spec.NumHosts(); dn++ {
+		d := ib.NodeID(dn)
+		dp, dl, dh := dn/podHosts, (dn/H)%spec.Leaves, dn%H
+		for p := range leaves {
+			for l, leaf := range leaves[p] {
+				if p == dp && l == dl {
+					leaf.SetRoute(d, dh)
+				} else {
+					leaf.SetRoute(d, H+dn%uplinks)
+				}
+			}
+			for _, spine := range spines[p] {
+				if p == dp {
+					spine.SetRoute(d, dl*spec.Trunks+dn%spec.Trunks)
+				} else {
+					spine.SetRoute(d, spec.Leaves*spec.Trunks+dn%(spec.Cores*spec.CoreTrunks))
+				}
+			}
+		}
+		for _, core := range cores {
+			core.SetRoute(d, (dp*spec.Spines+dn%spec.Spines)*spec.CoreTrunks+dn%spec.CoreTrunks)
+		}
+	}
+	return c, nil
+}
+
+// crossAttach wires one direction of a spine-core cable: a data channel
+// carrying deliveries, a credit channel carrying the FC updates back, the
+// split gate across the two, and the cross wire on the sending switch's
+// egress port.
+func crossAttach(coord *sim.Coordinator, lk model.LinkParams, swPar model.SwitchParams,
+	src *ibswitch.Switch, srcShard, srcPort int,
+	dst *ibswitch.Switch, dstShard, dstPort int) error {
+	data, err := coord.Channel(srcShard, dstShard, lk.Propagation)
+	if err != nil {
+		return err
+	}
+	credit, err := coord.Channel(dstShard, srcShard, lk.Propagation)
+	if err != nil {
+		return err
+	}
+	sgate := link.NewCrossSendGate(swPar.WindowFor)
+	rgate := link.NewCrossRecvGate(coord.Shard(dstShard).Eng, credit, sgate, lk.Propagation+swPar.CreditReturnDelay)
+	dst.SetIngressCross(dstPort, rgate)
+	w := link.NewCrossWire(coord.Shard(srcShard).Eng, fmt.Sprintf("%s.p%d", src.Name(), srcPort),
+		lk.Bandwidth, lk.Propagation, data, dst.Ingress(dstPort), sgate)
+	src.AttachCross(srcPort, w)
+	return nil
+}

@@ -108,6 +108,31 @@ func (s Spec) Build(par model.FabricParams, seed uint64) (*Cluster, error) {
 	return nil, err
 }
 
+// ShardRange describes the valid `shards` values for this spec: "1" for
+// fabrics without a positive-lookahead cut, "1..Pods" for three-tier
+// fat-trees. Error messages quote it so the valid range always comes from
+// the same derivation the builder enforces.
+func (s Spec) ShardRange() string {
+	if s.Kind == KindFatTree && s.FatTree != nil && s.FatTree.Tiers == 3 {
+		return fmt.Sprintf("1..%d", s.FatTree.Pods)
+	}
+	return "1"
+}
+
+// BuildShards constructs the cluster split across `shards` engines under a
+// shard coordinator. Only three-tier fat-trees have the positive-lookahead
+// pod/core cuts conservative sharding needs; every other spec admits only
+// shards == 1, which is the plain single-engine Build path.
+func (s Spec) BuildShards(par model.FabricParams, seed uint64, shards int) (*Cluster, error) {
+	if s.Kind == KindFatTree && s.FatTree != nil && s.FatTree.Tiers == 3 {
+		return FatTree3(par, *s.FatTree, seed, shards)
+	}
+	if shards != 1 {
+		return nil, fmt.Errorf("topology: %s cannot run on %d shards (valid: %s)", s.Label(), shards, s.ShardRange())
+	}
+	return s.Build(par, seed)
+}
+
 // Fixed node counts of the legacy shapes (the paper's testbed).
 const (
 	// StarHosts is the rack size of §V.

@@ -18,11 +18,27 @@ import (
 
 // Cluster is a wired fabric ready to carry traffic.
 type Cluster struct {
-	Eng      *sim.Engine
+	// Eng is the simulation engine — of shard 0 for a sharded build, where
+	// callers must advance time through RunUntil (the coordinator) rather
+	// than the engine directly.
+	Eng *sim.Engine
+	// Coord synchronizes the shards of a sharded build; nil for the plain
+	// single-engine path.
+	Coord    *sim.Coordinator
 	Params   model.FabricParams
 	NICs     []*rnic.RNIC
 	Switches []*ibswitch.Switch
 	root     *rng.Source
+}
+
+// RunUntil advances the fabric to absolute time end: through the shard
+// coordinator when the build is sharded, directly on the engine otherwise.
+func (c *Cluster) RunUntil(end units.Time) {
+	if c.Coord != nil {
+		c.Coord.RunUntil(end)
+		return
+	}
+	c.Eng.RunUntil(end)
 }
 
 // RNG derives a deterministic random stream for a cluster component.
@@ -76,7 +92,13 @@ func newCluster(par model.FabricParams, seed uint64) *Cluster {
 }
 
 func (c *Cluster) addNIC(i int) *rnic.RNIC {
-	n := rnic.New(c.Eng, ib.NodeID(i), c.Params.NIC, c.RNG(fmt.Sprintf("nic%d", i)))
+	return c.addNICOn(c.Eng, i)
+}
+
+// addNICOn creates node i's RNIC on a specific shard engine. The RNG label
+// depends only on the node id, so shard placement never shifts a stream.
+func (c *Cluster) addNICOn(eng *sim.Engine, i int) *rnic.RNIC {
+	n := rnic.New(eng, ib.NodeID(i), c.Params.NIC, c.RNG(fmt.Sprintf("nic%d", i)))
 	c.NICs = append(c.NICs, n)
 	return n
 }
