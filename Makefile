@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-shard test-debugpackets golden smoke-examples smoke-specs ci
+.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-shard test-debugpackets test-faults golden smoke-examples smoke-specs ci
 
 all: vet build test
 
@@ -77,6 +77,17 @@ test-shard:
 test-debugpackets:
 	$(GO) test -tags debugpackets ./...
 
+# test-faults runs the fault-injection and transport-reliability suite:
+# the fault goldens, the shards 1/2/4 x barrier-mode byte-equivalence of
+# fault schedules, and the exactly-once delivery property under heavy
+# random loss — under -race (the retransmission timers run inside the
+# sharded engines) and again with the packet-pool poison mode (dropped and
+# duplicate packets must never be released twice).
+test-faults:
+	$(GO) test -race -run 'Fault|WheelAfterOverflow' \
+		./internal/sim/ ./internal/experiments/
+	$(GO) test -tags debugpackets -run 'Fault' ./internal/experiments/
+
 # golden regenerates the determinism golden files (fig7a star sweep,
 # fat-tree incast sweep, and the sharded bigfabric sweeps) after an
 # intentional model change.
@@ -106,4 +117,4 @@ smoke-specs:
 		$(GO) run ./cmd/ibsim run -spec "$$f" -measure 3ms -warmup 1ms -seeds 1 >/dev/null; \
 	done
 
-ci: vet build test race cover test-alloc test-shard test-debugpackets smoke-examples
+ci: vet build test race cover test-alloc test-shard test-faults test-debugpackets smoke-examples

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// The declarative fault schedule: a Point may carry a Faults section that
+// arms RC transport reliability fabric-wide and injects link faults — flaps
+// (a switch egress goes down, traffic fails over, the port heals), Bernoulli
+// packet loss, and degraded-rate intervals — either on named links or on a
+// seeded random subset drawn from the run's sealed RNG. Everything is plain
+// data; the schedule is installed after the fabric is built and before any
+// generator starts, so a fault run's event sequence is a pure function of
+// (spec, seed) at any shard count.
+
+// LinkFault is one named-link fault declaration. Times are absolute run
+// times in microseconds (the run starts at 0; warmup ends at Options.Warmup).
+// A single entry may combine effects: drop probability, one down/up flap,
+// and one degraded-rate interval.
+type LinkFault struct {
+	// Link names the directed link, as registered by the topology builder
+	// (e.g. "leaf0.p3" for leaf0's first uplink, "n0->leaf0" for host 0's
+	// injection link). Unknown names fail the run with the valid list's
+	// shape in the error.
+	Link string `json:"link"`
+	// DropProb is the per-packet Bernoulli loss probability in [0, 1),
+	// active for the whole run. 0 = no loss on this link.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// DownUs/UpUs schedule one flap: the link goes down at DownUs and heals
+	// at UpUs (both zero = no flap). Only switch egresses can flap — an
+	// RNIC transmitter has no alternative path to fail over to.
+	DownUs int64 `json:"down_us,omitempty"`
+	UpUs   int64 `json:"up_us,omitempty"`
+	// DegradedFromUs/DegradedUntilUs/RateScale schedule one degraded-rate
+	// interval: serialization stretches by RateScale (> 1 = slower) over
+	// [DegradedFromUs, DegradedUntilUs). RateScale zero = no degradation.
+	DegradedFromUs  int64   `json:"degraded_from_us,omitempty"`
+	DegradedUntilUs int64   `json:"degraded_until_us,omitempty"`
+	RateScale       float64 `json:"rate_scale,omitempty"`
+}
+
+// RandomFaults arms Bernoulli loss on Count links chosen by a seeded
+// permutation of the fabric's link registry. The permutation stream derives
+// from (seed, "faultperm") and the registry order is construction order —
+// a pure function of the topology spec — so the chosen set is identical at
+// every shard count and replays byte-for-byte.
+type RandomFaults struct {
+	// Count is how many links go lossy; values beyond the fabric's link
+	// count are clamped (clamping to "every link" is a valid schedule).
+	Count int `json:"count"`
+	// DropProb is the per-packet loss probability in (0, 1) applied to
+	// each chosen link.
+	DropProb float64 `json:"drop_prob"`
+}
+
+// Faults is a Point's fault schedule. Declaring one (even with an empty
+// link list plus Random) arms RC reliability on every NIC: senders stamp
+// PSNs, receivers admit in order, and lost packets retransmit after an ack
+// timeout with exponential backoff until MaxRetries, then fail the QP.
+type Faults struct {
+	// Links are the named-link fault declarations, installed in list order
+	// (the order is part of the determinism contract: drop streams split
+	// from the run RNG as they install).
+	Links []LinkFault `json:"links,omitempty"`
+	// Random optionally arms loss on a seeded random link subset.
+	Random *RandomFaults `json:"random,omitempty"`
+	// AckTimeoutUs is the RC ack timeout in microseconds (default 50).
+	AckTimeoutUs int64 `json:"ack_timeout_us,omitempty"`
+	// MaxRetries bounds retransmission attempts before the QP errors out
+	// (default 7, the verbs-style retry count).
+	MaxRetries *int `json:"max_retries,omitempty"`
+	// MeasureInflation additionally runs the identical point with the
+	// fault schedule removed (same seed, same construction) and reports
+	// the latency probe's p99 inflation against that clean twin.
+	MeasureInflation bool `json:"measure_inflation,omitempty"`
+}
+
+const (
+	defaultAckTimeoutUs = 50
+	defaultMaxRetries   = 7
+)
+
+func (f *Faults) validate(path string) error {
+	if len(f.Links) == 0 && f.Random == nil {
+		return fmt.Errorf("spec: %s must declare links or random (an empty schedule injects nothing)", path)
+	}
+	for i, lf := range f.Links {
+		lp := fmt.Sprintf("%s.links[%d]", path, i)
+		if lf.Link == "" {
+			return fmt.Errorf("spec: %s.link is required", lp)
+		}
+		if lf.DropProb < 0 || lf.DropProb >= 1 {
+			return fmt.Errorf("spec: %s.drop_prob %v out of range [0, 1)", lp, lf.DropProb)
+		}
+		hasFlap := lf.DownUs != 0 || lf.UpUs != 0
+		if hasFlap && (lf.DownUs < 0 || lf.UpUs <= lf.DownUs) {
+			return fmt.Errorf("spec: %s: flap interval [%d, %d)us is empty or negative", lp, lf.DownUs, lf.UpUs)
+		}
+		hasDegrade := lf.RateScale != 0 || lf.DegradedFromUs != 0 || lf.DegradedUntilUs != 0
+		if hasDegrade {
+			if lf.RateScale <= 1 {
+				return fmt.Errorf("spec: %s.rate_scale %v must exceed 1", lp, lf.RateScale)
+			}
+			if lf.DegradedFromUs < 0 || lf.DegradedUntilUs <= lf.DegradedFromUs {
+				return fmt.Errorf("spec: %s: degraded interval [%d, %d)us is empty or negative", lp, lf.DegradedFromUs, lf.DegradedUntilUs)
+			}
+		}
+		if lf.DropProb == 0 && !hasFlap && !hasDegrade {
+			return fmt.Errorf("spec: %s declares no effect (set drop_prob, down_us/up_us, or a degraded interval)", lp)
+		}
+	}
+	if r := f.Random; r != nil {
+		if r.Count <= 0 {
+			return fmt.Errorf("spec: %s.random.count must be positive, got %d", path, r.Count)
+		}
+		if r.DropProb <= 0 || r.DropProb >= 1 {
+			return fmt.Errorf("spec: %s.random.drop_prob %v out of range (0, 1)", path, r.DropProb)
+		}
+	}
+	if f.AckTimeoutUs < 0 {
+		return fmt.Errorf("spec: %s.ack_timeout_us must be non-negative, got %d", path, f.AckTimeoutUs)
+	}
+	if f.MaxRetries != nil && *f.MaxRetries < 1 {
+		return fmt.Errorf("spec: %s.max_retries must be at least 1, got %d", path, *f.MaxRetries)
+	}
+	return nil
+}
+
+func us(v int64) units.Time { return units.Time(0).Add(units.Duration(v) * units.Microsecond) }
+
+// installFaults arms reliability and the fault schedule on a built cluster.
+// It returns the earliest fault onset (run-relative), the reference point
+// for the recovery-time metric: always-on loss starts at time zero; flaps
+// and degradations start when scheduled. Installation order is declaration
+// order — RNG splits consume parent state, so the order is part of the
+// schedule's identity.
+func installFaults(c *topology.Cluster, f *Faults) (units.Time, error) {
+	ackUs := f.AckTimeoutUs
+	if ackUs == 0 {
+		ackUs = defaultAckTimeoutUs
+	}
+	maxRetries := defaultMaxRetries
+	if f.MaxRetries != nil {
+		maxRetries = *f.MaxRetries
+	}
+	c.EnableReliability(units.Duration(ackUs)*units.Microsecond, maxRetries)
+
+	onset := units.MaxTime
+	noteOnset := func(t units.Time) {
+		if t < onset {
+			onset = t
+		}
+	}
+	for _, lf := range f.Links {
+		if lf.DropProb > 0 {
+			if err := c.SetLinkDrop(lf.Link, lf.DropProb); err != nil {
+				return 0, err
+			}
+			noteOnset(0)
+		}
+		if lf.DownUs != 0 || lf.UpUs != 0 {
+			if err := c.FlapLink(lf.Link, us(lf.DownUs), us(lf.UpUs)); err != nil {
+				return 0, err
+			}
+			noteOnset(us(lf.DownUs))
+		}
+		if lf.RateScale != 0 {
+			if err := c.DegradeLink(lf.Link, us(lf.DegradedFromUs), us(lf.DegradedUntilUs), lf.RateScale); err != nil {
+				return 0, err
+			}
+			noteOnset(us(lf.DegradedFromUs))
+		}
+	}
+	if r := f.Random; r != nil {
+		names := c.LinkNames()
+		perm := c.RNG("faultperm").Perm(len(names))
+		count := r.Count
+		if count > len(names) {
+			count = len(names)
+		}
+		for i := 0; i < count; i++ {
+			if err := c.SetLinkDrop(names[perm[i]], r.DropProb); err != nil {
+				return 0, err
+			}
+		}
+		noteOnset(0)
+	}
+	if onset == units.MaxTime {
+		onset = 0
+	}
+	return onset, nil
+}

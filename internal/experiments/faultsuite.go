@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"repro/internal/topology"
+)
+
+// The fault-injection scenario suite: the paper's converged-traffic
+// patterns re-run under deterministic failures, showing what the transport
+// pays to hide them —
+//
+//   - faultflap: the incast mix with a mid-run spine-uplink flap. While the
+//     primary uplink is down, routing fails over to the surviving spine
+//     (the flows collapse onto one path); on heal the route recovers.
+//     Packets serialized onto the downed wire retransmit after the ack
+//     timeout, and the probe's p99 inflation against a same-seed fault-free
+//     twin prices the disruption.
+//   - faultloss: the all-to-all pattern with Bernoulli loss on a seeded
+//     random link subset, at the paper-cited 1e-5 rate and at 1e-3 where
+//     go-back-N retransmission becomes clearly visible in the counters.
+
+func registerFaultSuite() {
+	// faultflap drops leaf0's even-destination uplink (port 3, toward
+	// spine0 — the one the drain's node id selects) for 100us mid-run.
+	Register(Definition{
+		ID:    "faultflap",
+		Title: "Incast under a mid-run spine-uplink flap: failover, retransmission and p99 inflation",
+		Notes: []string{
+			"fabric " + crossSpineSpec.String() + "; leaf0.p3 (leaf0 -> spine0, the drain's modulo-chosen uplink) is down over [400us, 500us)",
+			"failover_total counts packets re-routed over the surviving spine; recovery_us is fault onset to the last retransmission recovery",
+			"fault_p99_inflation_pct compares the probe's p99 against a same-seed fault-free twin",
+		},
+		Spec: Spec{
+			Base: &Point{
+				Topology: topology.SpecFatTree(crossSpineSpec),
+				Workload: Workload{
+					{Kind: GroupBSG, Count: 6, Payload: 4096},
+					{Kind: GroupLSG},
+				},
+				Faults: &Faults{
+					Links: []LinkFault{
+						{Link: "leaf0.p3", DownUs: 400, UpUs: 500},
+					},
+					MeasureInflation: true,
+				},
+			},
+			Sweep: []Axis{{Field: AxisBSGs, Counts: []int{2, 4, 6}}},
+			Collect: []string{
+				"lsg_p50_us", "lsg_p999_us", "bulk_total_gbps",
+				"failover_total", "retx_total", "recovery_us", "fault_p99_inflation_pct",
+			},
+		},
+	})
+
+	// faultloss arms loss on every link (count clamps to the fabric's 30
+	// registered wires) so the schedule is rate-, not placement-, driven.
+	// The 300us ack timeout clears the all-to-all's worst fault-free ack
+	// wait (acks queue behind each receiver's own open-loop send backlog),
+	// so the retransmission counters measure loss recovery, not backlog.
+	lossPoint := func(prob float64) Point {
+		return Point{
+			Topology: topology.SpecFatTree(topology.FatTreeSpec{Leaves: 3, HostsPerLeaf: 3, Spines: 2}),
+			Workload: Workload{{Kind: GroupAllToAll, Payload: 4096}},
+			Faults: &Faults{
+				Random:       &RandomFaults{Count: 64, DropProb: prob},
+				AckTimeoutUs: 300,
+			},
+		}
+	}
+	Register(Definition{
+		ID:    "faultloss",
+		Title: "All-to-all under Bernoulli packet loss: goodput and go-back-N retransmission cost",
+		Notes: []string{
+			"loss arms on a seeded random permutation of the link registry (count 64 clamps to all links)",
+			"at 1e-5 loss is rare within the window; at 1e-3 each drop invalidates the stream's pipelined successors (go-back-N), so retransmissions dwarf the raw drop count and goodput collapses",
+		},
+		Spec: Spec{
+			Sweep: []Axis{{Field: AxisVariant, Variants: []Variant{
+				{Name: "loss-1e-5", Point: lossPoint(1e-5)},
+				{Name: "loss-1e-3", Point: lossPoint(1e-3)},
+			}}},
+			Collect: []string{
+				"bulk_total_gbps", "fairness",
+				"fault_sent_total", "drops_total", "retx_total", "qp_errors", "recovery_us",
+			},
+		},
+	})
+}

@@ -27,6 +27,7 @@ func init() {
 	registerFatTreeSuite()
 	registerSliceSuite()
 	registerBigFabric()
+	registerFaultSuite()
 }
 
 // Register adds a definition. It panics on duplicate or empty IDs and on

@@ -85,6 +85,19 @@ type Result struct {
 	TenantGbps, TenantConf          []float64
 	TenantP99Us, TenantP999Us       []float64
 	TenantIsoP99Us, TenantIsoP999Us []float64
+	// Fault-injection outputs (populated only when the point declares a
+	// fault schedule). FaultSent/FaultDrops count packets offered to and
+	// dropped by fault-instrumented links; Retransmits/RNRBackoffs/QPErrors
+	// are the fabric-wide RC reliability totals; FailedOver counts packets
+	// re-routed around downed egresses.
+	FaultSent, FaultDrops    uint64
+	Retransmits, RNRBackoffs uint64
+	QPErrors, FailedOver     uint64
+	// RecoveryUs is first fault onset to last retransmission recovery, µs.
+	RecoveryUs float64
+	// FaultP99InflationPct is the latency probe's p99 inflation over the
+	// same-seed fault-free twin (measure_inflation only).
+	FaultP99InflationPct float64
 }
 
 // Run executes one point once with the given seed. The run is sealed: it
@@ -125,6 +138,26 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 			}
 			res.TenantIsoP99Us[ti] = iso.TenantP99Us[ti]
 			res.TenantIsoP999Us[ti] = iso.TenantP999Us[ti]
+		}
+	}
+	// The fault-free twin: the identical sealed configuration with the
+	// schedule removed (and reliability off — arming it schedules no events
+	// and draws no RNG until a timeout fires, so a clean run's p99 is the
+	// same either way). The probe's p99 against the twin isolates what the
+	// faults cost, measured under the same seed.
+	if p.Faults != nil && p.Faults.MeasureInflation {
+		clean := p
+		clean.Faults = nil
+		twin, err := runScenario(clean, fab, opts, seed, -1)
+		if err != nil {
+			return Result{}, err
+		}
+		if res.LSGHist != nil && res.LSGHist.Count() > 0 && twin.LSGHist != nil && twin.LSGHist.Count() > 0 {
+			cp := twin.LSGHist.QuantileDuration(0.99).Microseconds()
+			fp := res.LSGHist.QuantileDuration(0.99).Microseconds()
+			if cp > 0 {
+				res.FaultP99InflationPct = (fp/cp - 1) * 100
+			}
 		}
 	}
 	return res, nil
@@ -185,6 +218,19 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 		// still serves a real LSG promptly.
 		rate := units.Bandwidth(p.VL1RateLimitGbps * float64(units.Gbps))
 		c.SetVLRateLimit(1, rate, 4*(256+ib.MaxHeaderBytes))
+	}
+
+	// The fault schedule installs after the fabric's configuration and
+	// before any generator exists: every RNIC must stamp PSNs from its very
+	// first send, and the schedule's flap/degrade events must precede all
+	// traffic events at equal times only by construction order, which the
+	// engine's seq tiebreak preserves deterministically.
+	var faultOnset units.Time
+	if p.Faults != nil {
+		faultOnset, err = installFaults(c, p.Faults)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	drain, probeSrc, bsgSrcs := placement(p)
@@ -505,6 +551,17 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 	for ti, t := range p.Tenants {
 		if t.PromisedGbps > 0 {
 			res.TenantConf[ti] = res.TenantGbps[ti] / t.PromisedGbps
+		}
+	}
+	if p.Faults != nil {
+		res.FaultSent, res.FaultDrops = c.FaultTotals()
+		rel := c.RelTotals()
+		res.Retransmits = rel.Retransmits
+		res.RNRBackoffs = rel.RNRBackoffs
+		res.QPErrors = rel.QPErrors
+		res.FailedOver = c.FailoverTotal()
+		if rel.Recovered > 0 && rel.LastRecovery > faultOnset {
+			res.RecoveryUs = rel.LastRecovery.Sub(faultOnset).Microseconds()
 		}
 	}
 	return res, nil

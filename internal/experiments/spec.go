@@ -136,6 +136,11 @@ type Point struct {
 	// promised rate (see DESIGN.md "Tenant slicing and conformance
 	// metrics"). Empty = no slicing.
 	Tenants []Tenant `json:"tenants,omitempty"`
+	// Faults optionally arms RC transport reliability and a deterministic
+	// fault schedule — link flaps, packet loss, degraded-rate intervals
+	// (see DESIGN.md "Fault injection and transport reliability"). Nil = a
+	// fault-free run with reliability off (the default fast path).
+	Faults *Faults `json:"faults,omitempty"`
 }
 
 // Tenant is one slice of the fabric: a promised aggregate rate, the
@@ -431,6 +436,13 @@ func (p Point) validate(path string) error {
 			return fmt.Errorf("spec: %s.dst %d out of range [0, %d)", gp, *g.Dst, hosts)
 		}
 	}
+	if p.Faults != nil {
+		// Ranges only: link-name existence needs the built fabric, so it is
+		// checked at install time with the registry in hand.
+		if err := p.Faults.validate(path + ".faults"); err != nil {
+			return err
+		}
+	}
 	return p.validateTenants(path)
 }
 
@@ -568,6 +580,20 @@ type Metrics struct {
 	TenantP999Us    []float64
 	TenantIsoP99Us  []float64 // same-seed isolation baseline
 	TenantIsoP999Us []float64
+	// Fault-injection family (all 0 on fault-free points). Counters are
+	// per-seed totals averaged across seeds, so they may be fractional.
+	FaultSent   float64 // packets offered to fault-instrumented links
+	FaultDrops  float64 // packets dropped by the loss schedule
+	Retransmits float64 // RC retransmission attempts
+	RNRBackoffs float64 // ack timeouts deferred because the send queue was busy
+	QPErrors    float64 // QPs failed after exhausting retries
+	FailedOver  float64 // packets re-routed around a downed egress
+	// RecoveryUs is the time from the first fault onset to the last
+	// successful retransmission recovery (0 when nothing needed recovery).
+	RecoveryUs float64
+	// FaultP99InflationPct is the latency probe's p99 inflation over the
+	// same-seed fault-free twin, in percent (measure_inflation only).
+	FaultP99InflationPct float64
 }
 
 // metricTable maps Collect names to extraction + formatting. The format
@@ -597,6 +623,16 @@ var metricTable = map[string]func(Metrics) string{
 	"slice_if_p999_pct": func(m Metrics) string {
 		return f1(worstInterferencePct(m.TenantP999Us, m.TenantIsoP999Us))
 	},
+	// Fault-injection family (all 0 on fault-free points). Counters print
+	// with one decimal: they are per-seed totals averaged across seeds.
+	"fault_sent_total":        func(m Metrics) string { return f1(m.FaultSent) },
+	"drops_total":             func(m Metrics) string { return f1(m.FaultDrops) },
+	"retx_total":              func(m Metrics) string { return f1(m.Retransmits) },
+	"rnr_total":               func(m Metrics) string { return f1(m.RNRBackoffs) },
+	"qp_errors":               func(m Metrics) string { return f1(m.QPErrors) },
+	"failover_total":          func(m Metrics) string { return f1(m.FailedOver) },
+	"recovery_us":             func(m Metrics) string { return f2(m.RecoveryUs) },
+	"fault_p99_inflation_pct": func(m Metrics) string { return f1(m.FaultP99InflationPct) },
 }
 
 func sum(xs []float64) float64 {
@@ -649,6 +685,7 @@ func reduceSeeds(results []Result) Metrics {
 	var m Metrics
 	var meds, tails, pretends, totals []float64
 	var rmeds, rtails, pp50, pp999, qmean, fair []float64
+	var fsent, fdrops, retx, rnr, qperr, fover, recov, infl []float64
 	var perBSG [][]float64
 	// Per-tenant arrays accumulate slot-wise like perBSG: every seed of a
 	// point declares the same tenants, so slot i is tenant i throughout.
@@ -674,6 +711,14 @@ func reduceSeeds(results []Result) Metrics {
 		pp999 = append(pp999, r.PerftestP999Us)
 		qmean = append(qmean, r.QperfMeanUs)
 		fair = append(fair, r.Fairness)
+		fsent = append(fsent, float64(r.FaultSent))
+		fdrops = append(fdrops, float64(r.FaultDrops))
+		retx = append(retx, float64(r.Retransmits))
+		rnr = append(rnr, float64(r.RNRBackoffs))
+		qperr = append(qperr, float64(r.QPErrors))
+		fover = append(fover, float64(r.FailedOver))
+		recov = append(recov, r.RecoveryUs)
+		infl = append(infl, r.FaultP99InflationPct)
 		for j, vals := range [6][]float64{r.TenantGbps, r.TenantConf, r.TenantP99Us, r.TenantP999Us, r.TenantIsoP99Us, r.TenantIsoP999Us} {
 			slot(&perTenant[j], vals)
 		}
@@ -691,6 +736,14 @@ func reduceSeeds(results []Result) Metrics {
 	m.PerftestP999Us = stats.Mean(pp999)
 	m.QperfMeanUs = stats.Mean(qmean)
 	m.Fairness = stats.Mean(fair)
+	m.FaultSent = stats.Mean(fsent)
+	m.FaultDrops = stats.Mean(fdrops)
+	m.Retransmits = stats.Mean(retx)
+	m.RNRBackoffs = stats.Mean(rnr)
+	m.QPErrors = stats.Mean(qperr)
+	m.FailedOver = stats.Mean(fover)
+	m.RecoveryUs = stats.Mean(recov)
+	m.FaultP99InflationPct = stats.Mean(infl)
 	for j, dst := range [6]*[]float64{&m.TenantGbps, &m.TenantConf, &m.TenantP99Us, &m.TenantP999Us, &m.TenantIsoP99Us, &m.TenantIsoP999Us} {
 		for _, vals := range perTenant[j] {
 			*dst = append(*dst, stats.Mean(vals))

@@ -152,8 +152,12 @@ type Packet struct {
 	MsgID     uint64
 	SeqInMsg  int  // packet index within a segmented message
 	LastInMsg bool // true on the final segment
-	Payload   units.ByteSize
-	SL        SL
+	// PSN is the RC packet sequence number, contiguous per (SrcNode, QP)
+	// stream and stable across retransmissions. It is assigned only when
+	// the sending RNIC has reliability enabled (fault runs); otherwise 0.
+	PSN     uint64
+	Payload units.ByteSize
+	SL      SL
 	// OpRef identifies the requester's pending-operation slot (-1 = none).
 	// Responders echo it on ACKs and READ responses, so the requester
 	// retires operations by direct slab index instead of a map lookup —

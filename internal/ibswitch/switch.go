@@ -208,6 +208,19 @@ type Switch struct {
 	limits [ib.NumVLs]*tokenBucket
 	name   string
 
+	// Failover state (fault runs only; zero cost otherwise — deliver and
+	// pick guard on downCount > 0 / portDown non-nil). portDown marks
+	// egress ports that must not start new transmissions; uplinks maps a
+	// destination to the port group destination-modulo routing may fall
+	// over to while its primary is down (the topology registers shared
+	// slices, one per routing group). downCount counts true entries.
+	portDown  []bool
+	downCount int
+	uplinks   map[ib.NodeID][]int
+	// FailedOver counts packets whose egress was redirected off a downed
+	// primary (tests and diagnostics).
+	FailedOver uint64
+
 	// ForwardedPackets counts data/ack packets forwarded, for tests.
 	ForwardedPackets uint64
 	// OnForward, when set, observes every forwarded packet with its
@@ -241,6 +254,7 @@ func New(eng *sim.Engine, name string, par model.SwitchParams, nPorts int, jitte
 		p := &Port{sw: sw, idx: i}
 		p.departH.p = p
 		p.gate = link.NewBufferGate(eng, par.CreditReturnDelay, par.WindowFor)
+		p.gate.SetName(fmt.Sprintf("%s.p%d:in", name, i))
 		sw.ports = append(sw.ports, p)
 	}
 	return sw
@@ -281,6 +295,73 @@ func listedVLs(cfg ib.VLArbConfig) (listed [ib.NumVLs]bool) {
 		listed[e.VL] = true
 	}
 	return listed
+}
+
+// SetUplinks declares the failover group for dest: the egress ports over
+// which destination-modulo routing may rebalance while dest's primary port
+// is down. The topology layer registers one shared slice per routing group
+// (per-destination map entries alias it), in construction order, so the
+// grouping is identical at every shard count.
+func (sw *Switch) SetUplinks(dest ib.NodeID, group []int) {
+	if sw.uplinks == nil {
+		sw.uplinks = make(map[ib.NodeID][]int)
+	}
+	sw.uplinks[dest] = group
+}
+
+// SetPortDown marks port i down (no new transmissions start; packets
+// already queued for it wait for the heal) or back up (the egress re-arms
+// and drains). Transitions are scheduled by the fault controller; calling
+// with the current state is a no-op.
+func (sw *Switch) SetPortDown(i int, down bool) {
+	if sw.portDown == nil {
+		sw.portDown = make([]bool, len(sw.ports))
+	}
+	if sw.portDown[i] == down {
+		return
+	}
+	sw.portDown[i] = down
+	if down {
+		sw.downCount++
+		return
+	}
+	sw.downCount--
+	sw.kick(sw.ports[i])
+}
+
+// PortIsDown reports whether port i is administratively down.
+func (sw *Switch) PortIsDown(i int) bool {
+	return sw.portDown != nil && sw.portDown[i]
+}
+
+// failover redirects a packet for dest off its downed primary port: the
+// surviving ports of the destination's group are counted and the
+// dest-modulo-survivors one is chosen, so the spread stays deterministic
+// and allocation-free. With no registered group or no survivor the primary
+// is kept — the packet queues and waits for the heal.
+func (sw *Switch) failover(dest ib.NodeID, primary int) int {
+	group := sw.uplinks[dest]
+	alive := 0
+	for _, p := range group {
+		if !sw.portDown[p] {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return primary
+	}
+	k := int(dest) % alive
+	for _, p := range group {
+		if sw.portDown[p] {
+			continue
+		}
+		if k == 0 {
+			sw.FailedOver++
+			return p
+		}
+		k--
+	}
+	return primary
 }
 
 // SetRoute directs traffic for node via port.
@@ -331,6 +412,17 @@ func (sw *Switch) SetIngressCross(i int, g link.IngressAccounting) {
 // transmitter reserves from it).
 func (sw *Switch) IngressGate(i int) *link.BufferGate { return sw.ports[i].gate }
 
+// EgressWire returns port i's local egress wire (nil when the egress is
+// cross-shard or unattached). The topology layer registers it with the
+// fault controller.
+func (sw *Switch) EgressWire(i int) *link.Wire { return sw.ports[i].lwire }
+
+// EgressCross returns port i's cross-shard egress wire (nil when local).
+func (sw *Switch) EgressCross(i int) *link.CrossWire {
+	cw, _ := sw.ports[i].wire.(*link.CrossWire)
+	return cw
+}
+
 // Ingress returns the link.Endpoint for packets arriving at port i.
 func (sw *Switch) Ingress(i int) link.Endpoint { return ingress{sw.ports[i]} }
 
@@ -347,6 +439,9 @@ func (p *Port) deliver(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
 	out, ok := sw.routes[pkt.DestNode]
 	if !ok {
 		panic(fmt.Sprintf("ibswitch %s: no route for node %d", sw.name, pkt.DestNode))
+	}
+	if sw.downCount > 0 && sw.portDown[out] {
+		out = sw.failover(pkt.DestNode, out)
 	}
 	vl := sw.sl2vl.Map(pkt.SL)
 	pkt.VL = vl
@@ -460,6 +555,11 @@ func (sw *Switch) pick(out *Port) {
 	}
 	if out.egressFreeAt > now {
 		sw.wake(out, out.egressFreeAt)
+		return
+	}
+	if sw.downCount > 0 && sw.portDown[out.idx] {
+		// Downed egress: packets queued for it wait; the heal's
+		// SetPortDown(false) re-kicks this port.
 		return
 	}
 

@@ -17,8 +17,6 @@
 package link
 
 import (
-	"fmt"
-
 	"repro/internal/ib"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -94,6 +92,11 @@ type CrossWire struct {
 	memoSize units.ByteSize
 	memoSer  units.Duration
 	recv     crossDeliver
+	// faults is nil unless the run's spec declares faults on this wire;
+	// dropRecv is the alternate mailbox target a dropped packet dispatches
+	// to on the receiving shard (see faults.go).
+	faults   *Faults
+	dropRecv crossDrop
 }
 
 // NewCrossWire builds a cross-shard wire toward peer. ch must be a channel
@@ -117,6 +120,22 @@ func (w *CrossWire) Bandwidth() units.Bandwidth { return w.bw }
 // Propagation reports the cable delay (the cut's lookahead contribution).
 func (w *CrossWire) Propagation() units.Duration { return w.prop }
 
+// Name returns the wire's diagnostic name.
+func (w *CrossWire) Name() string { return w.name }
+
+// InstallFaults attaches fault state to the wire. rgate, when non-nil, is
+// the receiving shard's half of the split credit window: a dropped packet's
+// credits are unwound through it (arrival + instant departure), so the
+// credit-return message still flows back to the sender. Called once, at
+// fault-schedule install time, never on fault-free runs.
+func (w *CrossWire) InstallFaults(f *Faults, rgate *CrossRecvGate) {
+	w.faults = f
+	w.dropRecv = crossDrop{f: f, rgate: rgate}
+}
+
+// FaultState returns the installed fault state (nil on fault-free runs).
+func (w *CrossWire) FaultState() *Faults { return w.faults }
+
 // Send begins injecting pkt now; the delivery is enqueued into the peer
 // shard's mailbox for the epoch containing now+prop. Timing is identical to
 // Wire.Send — only the scheduling mechanism differs.
@@ -124,16 +143,32 @@ func (w *CrossWire) Send(pkt *ib.Packet) units.Time {
 	ib.AssertLive(pkt)
 	now := w.eng.Now()
 	if now < w.freeAt {
-		panic(fmt.Sprintf("link %s: overlapping Send at %v, busy until %v", w.name, now, w.freeAt))
+		invariant(w.eng, w.name, "overlapping Send at %v, busy until %v", now, w.freeAt)
 	}
 	ser := w.memoSer
 	if size := pkt.WireSize(); size != w.memoSize {
 		ser = units.Serialization(size, w.bw)
 		w.memoSize, w.memoSer = size, ser
 	}
+	drop := false
+	if f := w.faults; f != nil {
+		if now < f.DownUntil {
+			invariant(w.eng, w.name, "Send on a downed link (down until %v)", f.DownUntil)
+		}
+		ser = f.stretch(ser, now) // degraded rate bypasses the memo
+		drop = f.drawDrop()
+	}
 	w.freeAt = now.Add(ser)
 	start := now.Add(w.prop)
 	end := w.freeAt.Add(w.prop)
+	// A dropped packet still traverses the mailbox (the channel's message
+	// sequence must be independent of fault outcomes) but dispatches to the
+	// drop handler instead of the deliverer.
+	if drop {
+		m := w.ch.Send(start, "xwire:drop", &w.dropRecv)
+		m.Ptr, m.T0, m.T1 = pkt, start, end
+		return w.freeAt
+	}
 	m := w.ch.Send(start, "xwire:deliver", &w.recv)
 	m.Ptr, m.T0, m.T1 = pkt, start, end
 	return w.freeAt
@@ -155,6 +190,9 @@ type xvlSend struct {
 type CrossSendGate struct {
 	vls       [ib.NumVLs]xvlSend
 	onRelease []func()
+	// eng/name are diagnostic only (invariant reports); see SetDiag.
+	eng  *sim.Engine
+	name string
 }
 
 // NewCrossSendGate builds the sender half with VL windows from windowFor.
@@ -226,14 +264,19 @@ func (g *CrossSendGate) reserveQueued(vl ib.VL, wt waiter) {
 func (g *CrossSendGate) Unreserve(vl ib.VL, bytes units.ByteSize) {
 	s := &g.vls[vl]
 	if s.hadWaiters {
-		panic("link: Unreserve on a cross-shard VL that has queued waiters — hook-skipping is only safe under single-reserver wiring (see BufferGate.Unreserve doc)")
+		invariant(g.eng, g.name, "Unreserve(vl=%d) on a cross-shard VL that has queued waiters — hook-skipping is only safe under single-reserver wiring (see BufferGate.Unreserve doc)", vl)
 	}
 	s.avail += bytes
 	if s.avail > s.window {
-		panic("link: cross-shard unreserve exceeds reserved bytes")
+		invariant(g.eng, g.name, "cross-shard unreserve exceeds reserved bytes on vl %d: avail %v > window %v", vl, s.avail, s.window)
 	}
 	s.grantWaiters()
 }
+
+// SetDiag attaches the sending shard's engine and the wire name for
+// invariant reports. Purely diagnostic; a gate without it still checks its
+// invariants, just with a less located message.
+func (g *CrossSendGate) SetDiag(eng *sim.Engine, name string) { g.eng, g.name = eng, name }
 
 // OnRelease registers a hook invoked whenever credits return; the sending
 // switch's egress scheduler re-arms through it.
@@ -251,7 +294,7 @@ func (g *CrossSendGate) HandleEvent(ev *sim.Event) {
 	s := &g.vls[ib.VL(ev.A)]
 	s.avail += units.ByteSize(ev.B)
 	if s.avail > s.window {
-		panic("link: cross-shard credit conservation violated")
+		invariant(g.eng, g.name, "cross-shard credit conservation violated on vl %d: avail %v > window %v", ev.A, s.avail, s.window)
 	}
 	s.grantWaiters()
 	for _, hook := range g.onRelease {
@@ -271,6 +314,7 @@ type CrossRecvGate struct {
 	send        *CrossSendGate
 	returnDelay units.Duration // wire propagation + FC update latency
 	resident    [ib.NumVLs]units.ByteSize
+	name        string // diagnostic (invariant reports); see SetName
 }
 
 // NewCrossRecvGate builds the receiver half. ch must be a channel from the
@@ -285,11 +329,14 @@ func (g *CrossRecvGate) OnArrive(vl ib.VL, bytes units.ByteSize) {
 	g.resident[vl] += bytes
 }
 
+// SetName names the gate for invariant reports. Purely diagnostic.
+func (g *CrossRecvGate) SetName(name string) { g.name = name }
+
 // OnDepart implements IngressAccounting: the departed bytes become a credit
 // message due at the remote gate after the FC-update delay.
 func (g *CrossRecvGate) OnDepart(vl ib.VL, bytes units.ByteSize) {
 	if g.resident[vl] < bytes {
-		panic("link: cross-shard departure exceeds resident bytes")
+		invariant(g.eng, g.name, "cross-shard departure of %v exceeds resident %v on vl %d", bytes, g.resident[vl], vl)
 	}
 	g.resident[vl] -= bytes
 	m := g.ch.Send(g.eng.Now().Add(g.returnDelay), "xwire:credit", g.send)

@@ -31,8 +31,6 @@
 package link
 
 import (
-	"fmt"
-
 	"repro/internal/ib"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -97,6 +95,9 @@ type Wire struct {
 	// integer divisions per call.
 	memoSize units.ByteSize
 	memoSer  units.Duration
+	// faults is nil unless the run's spec declares faults on this wire; the
+	// fault-free hot path takes only the resulting dead branches.
+	faults *Faults
 }
 
 // NewWire builds a wire toward peer whose ingress buffer is controlled by
@@ -111,6 +112,22 @@ func NewWire(eng *sim.Engine, name string, bw units.Bandwidth, prop units.Durati
 // Gate returns the downstream credit gate.
 func (w *Wire) Gate() Gate { return w.gate }
 
+// Name returns the wire's diagnostic name.
+func (w *Wire) Name() string { return w.name }
+
+// InstallFaults attaches fault state to the wire. acct, when non-nil, is
+// the receiving port's ingress accounting, used to unwind the credit
+// reservation of a dropped packet (pass the same accounting object the
+// receiving port drives). Called once, at fault-schedule install time,
+// never on fault-free runs.
+func (w *Wire) InstallFaults(f *Faults, acct IngressAccounting) {
+	f.acct = acct
+	w.faults = f
+}
+
+// FaultState returns the installed fault state (nil on fault-free runs).
+func (w *Wire) FaultState() *Faults { return w.faults }
+
 // FreeAt reports when the wire finishes its current transmission.
 func (w *Wire) FreeAt() units.Time { return w.freeAt }
 
@@ -124,12 +141,20 @@ func (w *Wire) Send(pkt *ib.Packet) units.Time {
 	ib.AssertLive(pkt)
 	now := w.eng.Now()
 	if now < w.freeAt {
-		panic(fmt.Sprintf("link %s: overlapping Send at %v, busy until %v", w.name, now, w.freeAt))
+		invariant(w.eng, w.name, "overlapping Send at %v, busy until %v", now, w.freeAt)
 	}
 	ser := w.memoSer
 	if size := pkt.WireSize(); size != w.memoSize {
 		ser = units.Serialization(size, w.bw)
 		w.memoSize, w.memoSer = size, ser
+	}
+	drop := false
+	if f := w.faults; f != nil {
+		if now < f.DownUntil {
+			invariant(w.eng, w.name, "Send on a downed link (down until %v)", f.DownUntil)
+		}
+		ser = f.stretch(ser, now) // degraded rate bypasses the memo
+		drop = f.drawDrop()
 	}
 	w.freeAt = now.Add(ser)
 	start := now.Add(w.prop)
@@ -143,13 +168,21 @@ func (w *Wire) Send(pkt *ib.Packet) units.Time {
 	// allocation per packet per hop.
 	ev := w.eng.AtEvent(start, "link:deliver", w)
 	ev.Ptr, ev.T0, ev.T1 = pkt, start, end
+	if drop {
+		ev.A = 1
+	}
 	return w.freeAt
 }
 
 // HandleEvent delivers a scheduled arrival (the typed form of the old
 // per-packet delivery closure). Payload: Ptr = packet, T0 = first bit at
-// the receiver, T1 = last bit.
+// the receiver, T1 = last bit; A = 1 marks a fault-injected drop, consumed
+// at the receiver so the wire occupancy and credit flow stay physical.
 func (w *Wire) HandleEvent(ev *sim.Event) {
+	if ev.A != 0 {
+		w.faults.dropArrived(ev.Ptr.(*ib.Packet))
+		return
+	}
 	w.peer.DeliverArrival(ev.Ptr.(*ib.Packet), ev.T0, ev.T1)
 }
 
@@ -215,6 +248,7 @@ type vlState struct {
 type BufferGate struct {
 	eng         *sim.Engine
 	returnDelay units.Duration
+	name        string // diagnostic: the ingress it guards (see SetName)
 	vls         [ib.NumVLs]vlState
 	onRelease   []func()
 	// Frozen disables occupancy targeting (honest naive credits) for the
@@ -318,6 +352,10 @@ func (s *vlState) grantWaiters() {
 // under oversubscription. Exposed for the ablation study.
 func (g *BufferGate) SetFrozen(on bool) { g.frozen = on }
 
+// SetName names the gate for invariant reports (typically the ingress wire
+// it guards). Purely diagnostic.
+func (g *BufferGate) SetName(name string) { g.name = name }
+
 // OnRelease registers a hook invoked whenever credits are released; switch
 // egress schedulers use it to re-arm.
 func (g *BufferGate) OnRelease(fn func()) { g.onRelease = append(g.onRelease, fn) }
@@ -379,10 +417,10 @@ func (g *BufferGate) reserveQueued(vl ib.VL, wt waiter) {
 func (g *BufferGate) Unreserve(vl ib.VL, bytes units.ByteSize) {
 	s := &g.vls[vl]
 	if s.hadWaiters {
-		panic("link: Unreserve on a VL that has queued waiters — hook-skipping is only safe under single-reserver wiring (see Unreserve doc)")
+		invariant(g.eng, g.name, "Unreserve(vl=%d) on a VL that has queued waiters — hook-skipping is only safe under single-reserver wiring (see Unreserve doc)", vl)
 	}
 	if s.reserved < bytes {
-		panic("link: unreserve exceeds reserved bytes")
+		invariant(g.eng, g.name, "unreserve of %v exceeds reserved %v on vl %d", bytes, s.reserved, vl)
 	}
 	s.reserved -= bytes
 	s.avail += bytes
@@ -405,7 +443,7 @@ func (g *BufferGate) OnArrive(vl ib.VL, bytes units.ByteSize) {
 	s.resident += bytes
 	s.reserved -= bytes
 	if s.reserved < 0 {
-		panic("link: more bytes arrived than were reserved")
+		invariant(g.eng, g.name, "more bytes arrived than were reserved on vl %d (over by %v)", vl, -s.reserved)
 	}
 	if !s.arr.update(g.eng.Now(), bytes) {
 		return
@@ -434,7 +472,7 @@ func (g *BufferGate) OnArrive(vl ib.VL, bytes units.ByteSize) {
 func (g *BufferGate) OnDepart(vl ib.VL, bytes units.ByteSize) {
 	s := &g.vls[vl]
 	if s.resident < bytes {
-		panic("link: departure exceeds resident bytes")
+		invariant(g.eng, g.name, "departure of %v exceeds resident %v on vl %d", bytes, s.resident, vl)
 	}
 	s.resident -= bytes
 	s.dep.update(g.eng.Now(), bytes)
@@ -527,7 +565,8 @@ func (g *BufferGate) HandleEvent(ev *sim.Event) {
 	}
 	s.avail += bytes
 	if s.avail+s.reserved+s.resident+s.escrow > s.window {
-		panic("link: credit conservation violated")
+		invariant(g.eng, g.name, "credit conservation violated on vl %d: avail %v + reserved %v + resident %v + escrow %v > window %v",
+			vl, s.avail, s.reserved, s.resident, s.escrow, s.window)
 	}
 	s.grantWaiters()
 	for _, hook := range g.onRelease {

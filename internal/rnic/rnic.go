@@ -64,11 +64,20 @@ type pendingOp struct {
 
 // pendingSlot is one slab entry for an in-flight operation. live guards
 // stale references; msgID is double-checked on retire so a forged or
-// duplicated OpRef cannot complete someone else's operation.
+// duplicated OpRef cannot complete someone else's operation. The tail
+// fields exist only for RC reliability (reliability.go) and stay zero on
+// fault-free runs: qp doubles as the "this op is reliability-tracked"
+// marker.
 type pendingSlot struct {
 	op    pendingOp
 	msgID uint64
 	live  bool
+
+	timer   *sim.Event // pending ack-timeout, nil when not armed
+	retries int        // retransmissions consumed so far
+	queued  int        // segments enqueued locally but not yet on the wire
+	basePSN uint64     // PSN of segment 0, stable across retransmits
+	qp      *QP        // posting QP, for rebuilding segments on retransmit
 }
 
 // allocSlot registers an in-flight operation and returns its OpRef.
@@ -101,8 +110,16 @@ func (r *RNIC) takeSlot(ref int32, msgID uint64) (pendingOp, bool) {
 		return pendingOp{}, false
 	}
 	op := s.op
+	if s.timer != nil {
+		r.eng.Cancel(s.timer)
+		s.timer = nil
+	}
 	s.op = pendingOp{}
 	s.live = false
+	s.retries = 0
+	s.queued = 0
+	s.basePSN = 0
+	s.qp = nil
 	r.pendingLive--
 	r.freeSlots = append(r.freeSlots, ref)
 	return op, true
@@ -156,6 +173,11 @@ type RNIC struct {
 	pendingOps  []pendingSlot
 	freeSlots   []int32
 	pendingLive int
+
+	// rel is the RC reliability machinery (reliability.go); nil unless the
+	// run enables fault injection, so the fault-free hot path pays only
+	// nil checks.
+	rel *relState
 
 	// Hot-path free lists (see DESIGN.md "Hot-path memory discipline").
 	// Packets are drawn here and released by their terminal consumer —
@@ -313,6 +335,14 @@ func (r *RNIC) PostSend(qp *QP, verb ib.Verb, payload units.ByteSize, onComplete
 		segs = append(segs[:0], payload) // single request packet, no payload on the wire
 	}
 	r.segScratch = segs[:0]
+	// RC reliability (fault runs only): reserve a contiguous PSN range for
+	// the message and remember enough on the slot to rebuild its segments.
+	var basePSN uint64
+	relArmed := false
+	if rel := r.rel; rel != nil && ref >= 0 && !qp.Loopback && qp.Transport == ib.RC {
+		relArmed = true
+		basePSN = rel.nextPSN(streamKey{node: r.node, qp: qp.Num}, uint64(len(segs)))
+	}
 	for i, seg := range segs {
 		kind := ib.KindData
 		if verb == ib.VerbRead {
@@ -337,6 +367,9 @@ func (r *RNIC) PostSend(qp *QP, verb ib.Verb, payload units.ByteSize, onComplete
 			pkt.Payload = 0
 			pkt.CreditBytes = payload // requested length rides in the header
 		}
+		if relArmed {
+			pkt.PSN = basePSN + uint64(i)
+		}
 		tx := r.getTx()
 		tx.pkt = pkt
 		tx.readyAt = ready
@@ -348,6 +381,13 @@ func (r *RNIC) PostSend(qp *QP, verb ib.Verb, payload units.ByteSize, onComplete
 			tx.udComplete = onComplete
 		}
 		qp.engine.enqueue(tx)
+	}
+	if relArmed {
+		s := &r.pendingOps[ref]
+		s.qp = qp
+		s.basePSN = basePSN
+		s.queued = len(segs)
+		r.relArm(ref, msgID, r.rel.ackTimeout)
 	}
 	r.SentMessages++
 	return msgID
@@ -400,6 +440,32 @@ func (r *RNIC) vlOf(pkt *ib.Packet) ib.VL { return r.sl2vl.Map(pkt.SL) }
 // goes back to this RNIC's pool.
 func (r *RNIC) DeliverArrival(pkt *ib.Packet, arriveStart, arriveEnd units.Time) {
 	ib.AssertLive(pkt)
+	// Go-back-N receiver admission (fault runs only). Runs before the
+	// per-kind handlers and their hooks, so duplicates and out-of-order
+	// segments never count toward delivered bandwidth: the meters measure
+	// goodput under failure, not wire throughput.
+	if rel := r.rel; rel != nil && pkt.Transport == ib.RC &&
+		(pkt.Kind == ib.KindData || pkt.Kind == ib.KindReadRequest) {
+		switch rel.admit(pkt) {
+		case relDup:
+			// Already accepted once. A duplicate final data segment means
+			// the original ACK was lost — re-ACK so the requester can
+			// retire. A duplicate READ request means responses were lost —
+			// fall through and re-serve it. Other duplicates are dropped.
+			if pkt.Kind == ib.KindData {
+				if pkt.LastInMsg {
+					r.sendAck(pkt, arriveEnd)
+				}
+				r.pkts.Put(pkt)
+				return
+			}
+		case relGap:
+			// A loss upstream left a hole in the stream; discard until the
+			// requester's timeout retransmits from the gap.
+			r.pkts.Put(pkt)
+			return
+		}
+	}
 	switch pkt.Kind {
 	case ib.KindData:
 		r.recvData(pkt, arriveEnd)
@@ -422,36 +488,7 @@ func (r *RNIC) recvData(pkt *ib.Packet, wireEnd units.Time) {
 		r.RecvMessages++
 	}
 	if pkt.Transport == ib.RC && pkt.LastInMsg {
-		// Hardware ACK. For SEND the remote RNIC responds immediately on
-		// receipt, before the payload's PCIe write (Fig. 1d) — the
-		// property RPerf exploits. For WRITE the ACK follows the DMA
-		// write (Fig. 1b).
-		ackReady := wireEnd.Add(r.par.AckTurnaround)
-		if pkt.Verb == ib.VerbWrite {
-			ackReady = ackReady.Add(r.par.DMAWrite(pkt.Payload))
-		}
-		if r.par.JitterMean > 0 {
-			ackReady = ackReady.Add(units.Duration(r.jit.Exp(float64(r.par.JitterMean))))
-		}
-		ack := r.pkts.Get()
-		*ack = ib.Packet{
-			Kind:      ib.KindAck,
-			Verb:      pkt.Verb,
-			Transport: ib.RC,
-			SrcNode:   r.node,
-			DestNode:  pkt.SrcNode,
-			QP:        pkt.QP,
-			MsgID:     pkt.MsgID,
-			LastInMsg: true,
-			SL:        pkt.SL,
-			OpRef:     pkt.OpRef, // echo: lets the requester retire by slab index
-		}
-		tx := r.getTx()
-		tx.pkt = ack
-		tx.readyAt = ackReady
-		tx.wire = r.wire
-		tx.occupancy = r.occupancyFor(ack.WireSize(), r.par.AckTurnaround)
-		r.ctrl.enqueue(tx)
+		r.sendAck(pkt, wireEnd)
 	}
 	if pkt.LastInMsg && r.OnRecvMessage != nil {
 		var visible units.Time
@@ -472,7 +509,44 @@ func (r *RNIC) recvData(pkt *ib.Packet, wireEnd units.Time) {
 	r.pkts.Put(pkt) // terminal consumer: every hook above has run
 }
 
+// sendAck generates the hardware ACK for the final segment of an RC
+// message. For SEND the remote RNIC responds immediately on receipt,
+// before the payload's PCIe write (Fig. 1d) — the property RPerf exploits.
+// For WRITE the ACK follows the DMA write (Fig. 1b). Reliability also uses
+// it to re-ACK a duplicate final segment whose original ACK was lost.
+func (r *RNIC) sendAck(pkt *ib.Packet, wireEnd units.Time) {
+	ackReady := wireEnd.Add(r.par.AckTurnaround)
+	if pkt.Verb == ib.VerbWrite {
+		ackReady = ackReady.Add(r.par.DMAWrite(pkt.Payload))
+	}
+	if r.par.JitterMean > 0 {
+		ackReady = ackReady.Add(units.Duration(r.jit.Exp(float64(r.par.JitterMean))))
+	}
+	ack := r.pkts.Get()
+	*ack = ib.Packet{
+		Kind:      ib.KindAck,
+		Verb:      pkt.Verb,
+		Transport: ib.RC,
+		SrcNode:   r.node,
+		DestNode:  pkt.SrcNode,
+		QP:        pkt.QP,
+		MsgID:     pkt.MsgID,
+		LastInMsg: true,
+		SL:        pkt.SL,
+		OpRef:     pkt.OpRef, // echo: lets the requester retire by slab index
+	}
+	tx := r.getTx()
+	tx.pkt = ack
+	tx.readyAt = ackReady
+	tx.wire = r.wire
+	tx.occupancy = r.occupancyFor(ack.WireSize(), r.par.AckTurnaround)
+	r.ctrl.enqueue(tx)
+}
+
 func (r *RNIC) recvAck(pkt *ib.Packet, wireEnd units.Time) {
+	if r.rel != nil {
+		r.relNoteResponse(pkt.OpRef, pkt.MsgID, wireEnd)
+	}
 	if op, ok := r.takeSlot(pkt.OpRef, pkt.MsgID); ok {
 		r.completeAt(wireEnd.Add(r.par.AckRxProc+r.par.CQEDeliver), op.onComplete)
 	}
@@ -519,6 +593,9 @@ func (r *RNIC) recvReadResponse(pkt *ib.Packet, wireEnd units.Time) {
 		r.OnDeliver(pkt, wireEnd)
 	}
 	if pkt.LastInMsg {
+		if r.rel != nil {
+			r.relNoteResponse(pkt.OpRef, pkt.MsgID, wireEnd)
+		}
 		if op, ok := r.takeSlot(pkt.OpRef, pkt.MsgID); ok {
 			// Fig. 1a: local DMA write of the fetched data precedes the CQE.
 			r.completeAt(wireEnd.Add(r.par.DMAWrite(pkt.Payload)+r.par.CQEDeliver), op.onComplete)
@@ -710,6 +787,9 @@ func (e *engine) process() {
 	}
 	head.pkt.VL = vl
 	injEnd := head.wire.Send(head.pkt)
+	if e.r.rel != nil {
+		e.r.relOnWire(head.pkt)
+	}
 	e.busyUntil = now.Add(head.occupancy)
 	copy(e.queue[idx:], e.queue[idx+1:])
 	last := len(e.queue) - 1

@@ -92,6 +92,7 @@ type Engine struct {
 	seq     uint64
 	ran     uint64
 	stopped bool
+	label   string
 	// Trace, when non-nil, is invoked before each event executes. Used by
 	// debugging tools and the engine's own tests.
 	Trace func(at units.Time, label string)
@@ -104,6 +105,14 @@ func New() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() units.Time { return e.now }
+
+// SetLabel names the engine for diagnostics (shard id in sharded runs).
+// Invariant-violation reports include it so a failure in a parallel run
+// says which shard tripped.
+func (e *Engine) SetLabel(label string) { e.label = label }
+
+// Label returns the diagnostic name set with SetLabel ("" if unset).
+func (e *Engine) Label() string { return e.label }
 
 // Processed reports how many events have executed.
 func (e *Engine) Processed() uint64 { return e.ran }
@@ -147,12 +156,20 @@ func (e *Engine) At(at units.Time, label string, fn func()) *Event {
 	return ev
 }
 
-// After schedules fn to run d after the current time.
+// After schedules fn to run d after the current time. A delay so large
+// that now+d overflows int64 picoseconds (e.g. an exponentially backed-off
+// ack timeout armed near the horizon) saturates to units.MaxTime instead
+// of wrapping negative — the event is effectively "never", which is the
+// only sensible meaning of a timestamp the clock cannot represent.
 func (e *Engine) After(d units.Duration, label string, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
 	}
-	return e.At(e.now.Add(d), label, fn)
+	at := e.now.Add(d)
+	if at < e.now {
+		at = units.MaxTime
+	}
+	return e.At(at, label, fn)
 }
 
 // AtEvent schedules h.HandleEvent to run at absolute time at, without
@@ -177,12 +194,17 @@ func (e *Engine) AtEvent(at units.Time, label string, h Handler) *Event {
 	return ev
 }
 
-// AfterEvent schedules h.HandleEvent to run d after the current time.
+// AfterEvent schedules h.HandleEvent to run d after the current time. Like
+// After, an overflowing deadline saturates to units.MaxTime.
 func (e *Engine) AfterEvent(d units.Duration, label string, h Handler) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
 	}
-	return e.AtEvent(e.now.Add(d), label, h)
+	at := e.now.Add(d)
+	if at < e.now {
+		at = units.MaxTime
+	}
+	return e.AtEvent(at, label, h)
 }
 
 // Cancel removes a scheduled event. Canceling an already-fired or

@@ -7,6 +7,7 @@ package sim
 // cross-implementation extension of TestPropertyScheduleCancelRescheduleMix.
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -172,6 +173,38 @@ func TestWheelFarFutureOverflow(t *testing.T) {
 	})
 	want = []string{"near", "mid", "far1", "far2"}
 	assertOrder(t, runOrder(e), want)
+}
+
+// nopHandler is a trivial Handler for AfterEvent tests.
+type nopHandler struct{}
+
+func (nopHandler) HandleEvent(*Event) {}
+
+// A delay so large that now+d overflows int64 picoseconds must saturate to
+// units.MaxTime — landing in the far heap as "never" — instead of wrapping
+// negative and tripping the schedule-in-the-past panic. Exponentially
+// backed-off ack timeouts reach this regime after a few dozen doublings.
+func TestWheelAfterOverflowClamps(t *testing.T) {
+	e := New()
+	maxD := units.Duration(math.MaxInt64)
+	// From now = 0 the maximal delay lands exactly on the horizon, no wrap.
+	if ev := e.After(maxD, "clamped1", func() {}); ev.at != units.MaxTime {
+		t.Fatalf("After(maxD) at t=0 landed at %v, want units.MaxTime", ev.at)
+	}
+	e.At(5, "near", func() {
+		// From a nonzero now the same delay wraps negative without the clamp.
+		if ev := e.After(maxD, "clamped2", func() {}); ev.at != units.MaxTime {
+			t.Errorf("mid-run After overflow landed at %v, want units.MaxTime", ev.at)
+		}
+		if ev := e.AfterEvent(maxD, "clamped3", nopHandler{}); ev.at != units.MaxTime {
+			t.Errorf("mid-run AfterEvent overflow landed at %v, want units.MaxTime", ev.at)
+		}
+	})
+	// Clamped events share units.MaxTime and fire FIFO after everything else.
+	assertOrder(t, runOrder(e), []string{"near", "clamped1", "clamped2", "clamped3"})
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", e.Pending())
+	}
 }
 
 // Pending must track membership exactly through pushes, pops, cancels,

@@ -261,9 +261,12 @@ func buildTwoLayer(c *Cluster, hosts []int, spines, trunks int, hostLink, trunkL
 	for l, sw := range leaves {
 		for h := 0; h < hosts[l]; h++ {
 			nic := c.addNIC(node)
-			nic.Attach(link.NewWire(c.Eng, fmt.Sprintf("n%d->%s", node, names.leaf(l)),
-				hostLink.Bandwidth, hostLink.Propagation, sw.Ingress(h), sw.IngressGate(h)))
+			up := link.NewWire(c.Eng, fmt.Sprintf("n%d->%s", node, names.leaf(l)),
+				hostLink.Bandwidth, hostLink.Propagation, sw.Ingress(h), sw.IngressGate(h))
+			nic.Attach(up)
+			c.registerWire(c.Eng, up, sw.IngressGate(h), nil, 0)
 			sw.AttachPeer(h, hostLink, nic, link.Unlimited{})
+			c.registerWire(c.Eng, sw.EgressWire(h), nil, sw, h)
 			node++
 		}
 	}
@@ -273,7 +276,9 @@ func buildTwoLayer(c *Cluster, hosts []int, spines, trunks int, hostLink, trunkL
 		for t := 0; t < trunks; t++ {
 			p0, p1 := hosts[0]+t, hosts[1]+t
 			leaves[0].AttachPeer(p0, trunkLink, leaves[1].Ingress(p1), leaves[1].IngressGate(p1))
+			c.registerWire(c.Eng, leaves[0].EgressWire(p0), leaves[1].IngressGate(p1), leaves[0], p0)
 			leaves[1].AttachPeer(p1, trunkLink, leaves[0].Ingress(p0), leaves[0].IngressGate(p0))
+			c.registerWire(c.Eng, leaves[1].EgressWire(p1), leaves[0].IngressGate(p0), leaves[1], p1)
 		}
 	}
 	for l, leaf := range leaves {
@@ -281,12 +286,25 @@ func buildTwoLayer(c *Cluster, hosts []int, spines, trunks int, hostLink, trunkL
 			for t := 0; t < trunks; t++ {
 				pL, pS := hosts[l]+s*trunks+t, l*trunks+t
 				leaf.AttachPeer(pL, trunkLink, spine.Ingress(pS), spine.IngressGate(pS))
+				c.registerWire(c.Eng, leaf.EgressWire(pL), spine.IngressGate(pS), leaf, pL)
 				spine.AttachPeer(pS, trunkLink, leaf.Ingress(pL), leaf.IngressGate(pL))
+				c.registerWire(c.Eng, spine.EgressWire(pS), leaf.IngressGate(pL), spine, pS)
 			}
 		}
 	}
 
-	// Routes, derived for every (switch, destination) pair.
+	// Routes, derived for every (switch, destination) pair. Alongside each
+	// modulo-chosen route the same group of candidate ports is registered as
+	// the failover set (one shared slice per group): while the primary is
+	// down, new arrivals spread over the survivors deterministically.
+	upGroup := make([][]int, len(hosts))
+	for l := range hosts {
+		upGroup[l] = portRange(hosts[l], uplinks)
+	}
+	downGroup := make([][]int, len(hosts))
+	for ld := range hosts {
+		downGroup[ld] = portRange(ld*trunks, trunks)
+	}
 	node = 0
 	for ld := range hosts {
 		for h := 0; h < hosts[ld]; h++ {
@@ -300,9 +318,15 @@ func buildTwoLayer(c *Cluster, hosts []int, spines, trunks int, hostLink, trunkL
 				default:
 					leaf.SetRoute(d, hosts[l]+node%uplinks)
 				}
+				if l != ld && len(upGroup[l]) > 1 {
+					leaf.SetUplinks(d, upGroup[l])
+				}
 			}
 			for _, spine := range spineSwitches {
 				spine.SetRoute(d, ld*trunks+node%trunks)
+				if len(downGroup[ld]) > 1 {
+					spine.SetUplinks(d, downGroup[ld])
+				}
 			}
 			node++
 		}

@@ -128,6 +128,10 @@ func FatTree3(par model.FabricParams, spec FatTreeSpec, seed uint64, shards int)
 	if err != nil {
 		return nil, err
 	}
+	for i := 0; i < shards; i++ {
+		// Label each shard engine so invariant reports name the shard.
+		coord.Shard(i).Eng.SetLabel(fmt.Sprintf("shard%d", i))
+	}
 	c := &Cluster{
 		Eng:    coord.Shard(0).Eng,
 		Coord:  coord,
@@ -172,9 +176,12 @@ func FatTree3(par model.FabricParams, spec FatTreeSpec, seed uint64, shards int)
 		for _, sw := range leaves[p] {
 			for h := 0; h < H; h++ {
 				nic := c.addNICOn(eng, node)
-				nic.Attach(link.NewWire(eng, fmt.Sprintf("n%d->%s", node, sw.Name()),
-					hostLink.Bandwidth, hostLink.Propagation, sw.Ingress(h), sw.IngressGate(h)))
+				up := link.NewWire(eng, fmt.Sprintf("n%d->%s", node, sw.Name()),
+					hostLink.Bandwidth, hostLink.Propagation, sw.Ingress(h), sw.IngressGate(h))
+				nic.Attach(up)
+				c.registerWire(eng, up, sw.IngressGate(h), nil, 0)
 				sw.AttachPeer(h, hostLink, nic, link.Unlimited{})
+				c.registerWire(eng, sw.EgressWire(h), nil, sw, h)
 				node++
 			}
 		}
@@ -182,12 +189,15 @@ func FatTree3(par model.FabricParams, spec FatTreeSpec, seed uint64, shards int)
 
 	// Intra-pod trunks: plain local wires, both directions.
 	for p := range leaves {
+		eng := coord.Shard(plan.PodShard[p]).Eng
 		for l, leaf := range leaves[p] {
 			for s, spine := range spines[p] {
 				for t := 0; t < spec.Trunks; t++ {
 					pL, pS := H+s*spec.Trunks+t, l*spec.Trunks+t
 					leaf.AttachPeer(pL, trunkLink, spine.Ingress(pS), spine.IngressGate(pS))
+					c.registerWire(eng, leaf.EgressWire(pL), spine.IngressGate(pS), leaf, pL)
 					spine.AttachPeer(pS, trunkLink, leaf.Ingress(pL), leaf.IngressGate(pL))
+					c.registerWire(eng, spine.EgressWire(pS), leaf.IngressGate(pL), spine, pS)
 				}
 			}
 		}
@@ -202,12 +212,12 @@ func FatTree3(par model.FabricParams, spec FatTreeSpec, seed uint64, shards int)
 				for t := 0; t < spec.CoreTrunks; t++ {
 					spinePort := spec.Leaves*spec.Trunks + k*spec.CoreTrunks + t
 					corePort := (p*spec.Spines+s)*spec.CoreTrunks + t
-					if err := crossAttach(coord, coreLk, par.Switch,
+					if err := crossAttach(c, coord, coreLk, par.Switch,
 						spines[p][s], plan.PodShard[p], spinePort,
 						cores[k], plan.CoreShard[k], corePort); err != nil {
 						return nil, err
 					}
-					if err := crossAttach(coord, coreLk, par.Switch,
+					if err := crossAttach(c, coord, coreLk, par.Switch,
 						cores[k], plan.CoreShard[k], corePort,
 						spines[p][s], plan.PodShard[p], spinePort); err != nil {
 						return nil, err
@@ -217,8 +227,21 @@ func FatTree3(par model.FabricParams, spec FatTreeSpec, seed uint64, shards int)
 		}
 	}
 
-	// Routes, derived for every (switch, destination) pair.
+	// Routes, derived for every (switch, destination) pair. Each
+	// modulo-chosen route also registers its candidate group as the failover
+	// set (shared slices, one per routing group), so failed-over traffic
+	// spreads over the survivors by the same destination-modulo rule.
 	podHosts := spec.Leaves * H
+	leafUp := portRange(H, uplinks)
+	spineUp := portRange(spec.Leaves*spec.Trunks, spec.Cores*spec.CoreTrunks)
+	spineDown := make([][]int, spec.Leaves)
+	for dl := range spineDown {
+		spineDown[dl] = portRange(dl*spec.Trunks, spec.Trunks)
+	}
+	coreDown := make([][]int, spec.Pods)
+	for dp := range coreDown {
+		coreDown[dp] = portRange(dp*spec.Spines*spec.CoreTrunks, spec.Spines*spec.CoreTrunks)
+	}
 	for dn := 0; dn < spec.NumHosts(); dn++ {
 		d := ib.NodeID(dn)
 		dp, dl, dh := dn/podHosts, (dn/H)%spec.Leaves, dn%H
@@ -228,18 +251,30 @@ func FatTree3(par model.FabricParams, spec FatTreeSpec, seed uint64, shards int)
 					leaf.SetRoute(d, dh)
 				} else {
 					leaf.SetRoute(d, H+dn%uplinks)
+					if len(leafUp) > 1 {
+						leaf.SetUplinks(d, leafUp)
+					}
 				}
 			}
 			for _, spine := range spines[p] {
 				if p == dp {
 					spine.SetRoute(d, dl*spec.Trunks+dn%spec.Trunks)
+					if len(spineDown[dl]) > 1 {
+						spine.SetUplinks(d, spineDown[dl])
+					}
 				} else {
 					spine.SetRoute(d, spec.Leaves*spec.Trunks+dn%(spec.Cores*spec.CoreTrunks))
+					if len(spineUp) > 1 {
+						spine.SetUplinks(d, spineUp)
+					}
 				}
 			}
 		}
 		for _, core := range cores {
 			core.SetRoute(d, (dp*spec.Spines+dn%spec.Spines)*spec.CoreTrunks+dn%spec.CoreTrunks)
+			if len(coreDown[dp]) > 1 {
+				core.SetUplinks(d, coreDown[dp])
+			}
 		}
 	}
 	return c, nil
@@ -249,7 +284,7 @@ func FatTree3(par model.FabricParams, spec FatTreeSpec, seed uint64, shards int)
 // carrying deliveries, a credit channel carrying the FC updates back, the
 // split gate across the two, and the cross wire on the sending switch's
 // egress port.
-func crossAttach(coord *sim.Coordinator, lk model.LinkParams, swPar model.SwitchParams,
+func crossAttach(c *Cluster, coord *sim.Coordinator, lk model.LinkParams, swPar model.SwitchParams,
 	src *ibswitch.Switch, srcShard, srcPort int,
 	dst *ibswitch.Switch, dstShard, dstPort int) error {
 	data, err := coord.Channel(srcShard, dstShard, lk.Propagation)
@@ -263,8 +298,13 @@ func crossAttach(coord *sim.Coordinator, lk model.LinkParams, swPar model.Switch
 	sgate := link.NewCrossSendGate(swPar.WindowFor)
 	rgate := link.NewCrossRecvGate(coord.Shard(dstShard).Eng, credit, sgate, lk.Propagation+swPar.CreditReturnDelay)
 	dst.SetIngressCross(dstPort, rgate)
-	w := link.NewCrossWire(coord.Shard(srcShard).Eng, fmt.Sprintf("%s.p%d", src.Name(), srcPort),
+	name := fmt.Sprintf("%s.p%d", src.Name(), srcPort)
+	srcEng := coord.Shard(srcShard).Eng
+	sgate.SetDiag(srcEng, name)
+	rgate.SetName(fmt.Sprintf("%s.p%d:in", dst.Name(), dstPort))
+	w := link.NewCrossWire(srcEng, name,
 		lk.Bandwidth, lk.Propagation, data, dst.Ingress(dstPort), sgate)
 	src.AttachCross(srcPort, w)
+	c.registerCross(srcEng, w, rgate, src, srcPort)
 	return nil
 }

@@ -29,6 +29,10 @@ type Cluster struct {
 	NICs     []*rnic.RNIC
 	Switches []*ibswitch.Switch
 	root     *rng.Source
+	// links registers every directed wire by name, in construction order,
+	// for the fault controller (see faults.go).
+	links     map[string]*faultLink
+	linkNames []string
 }
 
 // RunUntil advances the fabric to absolute time end: through the shard
@@ -109,8 +113,12 @@ func BackToBack(par model.FabricParams, seed uint64) *Cluster {
 	a := c.addNIC(0)
 	b := c.addNIC(1)
 	// RNIC receive paths never back-pressure (see model.NICParams).
-	a.Attach(link.NewWire(c.Eng, "a->b", par.Link.Bandwidth, par.Link.Propagation, b, link.Unlimited{}))
-	b.Attach(link.NewWire(c.Eng, "b->a", par.Link.Bandwidth, par.Link.Propagation, a, link.Unlimited{}))
+	ab := link.NewWire(c.Eng, "a->b", par.Link.Bandwidth, par.Link.Propagation, b, link.Unlimited{})
+	ba := link.NewWire(c.Eng, "b->a", par.Link.Bandwidth, par.Link.Propagation, a, link.Unlimited{})
+	a.Attach(ab)
+	b.Attach(ba)
+	c.registerWire(c.Eng, ab, nil, nil, 0)
+	c.registerWire(c.Eng, ba, nil, nil, 0)
 	return c
 }
 
