@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-shard test-debugpackets test-faults golden smoke-examples smoke-specs ci
+.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-shard test-debugpackets test-faults test-serve golden smoke-examples smoke-specs smoke-serve ci
 
 all: vet build test
 
@@ -88,6 +88,36 @@ test-faults:
 		./internal/sim/ ./internal/experiments/
 	$(GO) test -tags debugpackets -run 'Fault' ./internal/experiments/
 
+# test-serve runs the experiment-service suite under -race — the HTTP
+# surface (byte-equality with ibsim run, 429 shedding, per-job deadlines,
+# retry/backoff, panic isolation, checkpoint resume, graceful drain) plus
+# the cancellation and engine-interrupt layers it stands on.
+test-serve:
+	$(GO) test -race ./internal/serve/
+	$(GO) test -race -run 'Interrupt|MapOrdered|RunCancelled|RunSeedsUncancelled|SpecHash' \
+		./internal/sim/ ./internal/experiments/
+
+# smoke-serve boots the service end to end: start `ibsim serve`, POST a
+# committed spec twice (cold run, then checkpoint-memo replay) and diff
+# both streams against `ibsim run -format jsonl` of the same spec.
+smoke-serve:
+	@set -e; \
+	bin=$$(mktemp); dir=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null; rm -rf "$$bin" "$$dir"' EXIT; \
+	$(GO) build -o "$$bin" ./cmd/ibsim; \
+	"$$bin" serve -addr 127.0.0.1:18347 -checkpoint "$$dir/ckpt" 2>/dev/null & pid=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://127.0.0.1:18347/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	"$$bin" run -spec specs/slicemix.json -measure 3ms -warmup 1ms -seeds 1 -format jsonl -out "$$dir/cli.jsonl"; \
+	curl -fsS -X POST --data-binary @specs/slicemix.json \
+		'http://127.0.0.1:18347/run?measure=3ms&warmup=1ms&seeds=1' > "$$dir/cold.jsonl"; \
+	diff "$$dir/cli.jsonl" "$$dir/cold.jsonl"; \
+	curl -fsS -X POST --data-binary @specs/slicemix.json \
+		'http://127.0.0.1:18347/run?measure=3ms&warmup=1ms&seeds=1' > "$$dir/memo.jsonl"; \
+	diff "$$dir/cli.jsonl" "$$dir/memo.jsonl"; \
+	echo "smoke-serve: cold and memo streams byte-identical to ibsim run"
+
 # golden regenerates the determinism golden files (fig7a star sweep,
 # fat-tree incast sweep, and the sharded bigfabric sweeps) after an
 # intentional model change.
@@ -117,4 +147,4 @@ smoke-specs:
 		$(GO) run ./cmd/ibsim run -spec "$$f" -measure 3ms -warmup 1ms -seeds 1 >/dev/null; \
 	done
 
-ci: vet build test race cover test-alloc test-shard test-faults test-debugpackets smoke-examples
+ci: vet build test race cover test-alloc test-shard test-faults test-serve test-debugpackets smoke-examples smoke-serve

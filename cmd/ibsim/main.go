@@ -22,6 +22,17 @@
 //	    Write a registered experiment's spec as JSON: the starting point
 //	    for authoring variations.
 //
+//	ibsim serve -addr 127.0.0.1:8080 [-checkpoint dir] [-max-running 2]
+//	            [-max-queued 8] [-job-deadline 0] [-retries 2]
+//	            [-retry-base 100ms] [-drain 10s] [-workers 0]
+//	            [-measure 12ms] [-warmup 3ms] [-seeds 3]
+//	    Run the experiment service: POST a spec JSON to /run and the
+//	    reduced table streams back as JSON lines, byte-identical to
+//	    `ibsim run -format jsonl`. Per-job panic isolation, deadlines,
+//	    retry/backoff, 429 load shedding, sweep checkpointing with
+//	    crash-safe resume, and graceful drain on SIGTERM. /healthz and
+//	    /stats expose liveness and counters.
+//
 //	ibsim [-profile hw|sim] [-topo backtoback|star|twotier|fattree]
 //	      [-leaves 3 -hosts 4 -spines 2 -trunks 1]
 //	      [-policy fcfs|rr|vlarb|spf] [-qos] [-bsgs 5] [-bsg-payload 4096]
@@ -37,14 +48,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/ibswitch"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/units"
@@ -59,11 +76,13 @@ func main() {
 			cmdRun(os.Args[2:])
 		case "export":
 			cmdExport(os.Args[2:])
+		case "serve":
+			cmdServe(os.Args[2:])
 		case "help": // -h/--help start with '-' and are handled by the flag package
 			fs, _ := playgroundFlags()
 			fs.Usage()
 		default:
-			fatal(fmt.Errorf("unknown command %q (valid: list, run, export, or flags for the playground)", os.Args[1]))
+			fatal(fmt.Errorf("unknown command %q (valid: list, run, export, serve, or flags for the playground)", os.Args[1]))
 		}
 		return
 	}
@@ -127,10 +146,16 @@ func cmdRun(args []string) {
 			fatal(err)
 		}
 	}
+	// ^C / SIGTERM cancels the sweep: dispatch stops, the running
+	// simulations abort at their next interrupt poll, and the run exits
+	// nonzero with a progress report instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	opts := experiments.Options{
 		Measure:  units.Duration(measure.Nanoseconds()) * units.Nanosecond,
 		Warmup:   units.Duration(warmup.Nanoseconds()) * units.Nanosecond,
 		Parallel: *parallel,
+		Ctx:      ctx,
 	}
 	for s := 1; s <= *seeds; s++ {
 		opts.Seeds = append(opts.Seeds, uint64(s))
@@ -148,6 +173,9 @@ func cmdRun(args []string) {
 		tbl, err = experiments.RunSpecGeneric(spec, opts)
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			fatal(fmt.Errorf("run: interrupted, no table written (%w)", err))
+		}
 		fatal(err)
 	}
 	w := os.Stdout
@@ -199,6 +227,63 @@ func cmdExport(args []string) {
 	}
 }
 
+// --- ibsim serve ------------------------------------------------------------
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("ibsim serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	checkpoint := fs.String("checkpoint", "", "checkpoint directory for sweep resume/memo (empty = recompute every sweep)")
+	maxRunning := fs.Int("max-running", 2, "concurrently executing sweeps")
+	maxQueued := fs.Int("max-queued", 8, "sweeps allowed to wait for a run slot; beyond it POSTs are shed with 429")
+	jobDeadline := fs.Duration("job-deadline", 0, "wall-clock cap per (point, seed) job attempt (0 = none)")
+	retries := fs.Int("retries", 2, "retries per job after a transient failure")
+	retryBase := fs.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry (doubles per retry)")
+	drain := fs.Duration("drain", 10*time.Second, "grace period for in-flight jobs on shutdown before hard cancel")
+	workers := fs.Int("workers", 0, "job worker pool per sweep (0 = GOMAXPROCS)")
+	measure := fs.Duration("measure", 12*time.Millisecond, "default simulated measurement window (override per request: ?measure=)")
+	warmup := fs.Duration("warmup", 3*time.Millisecond, "default simulated warmup (override per request: ?warmup=)")
+	seeds := fs.Int("seeds", 3, "default seeds to average (override per request: ?seeds=)")
+	must(fs.Parse(args))
+
+	srv, err := serve.New(serve.Config{
+		CheckpointDir: *checkpoint,
+		MaxRunning:    *maxRunning,
+		MaxQueued:     *maxQueued,
+		JobDeadline:   *jobDeadline,
+		Retry:         serve.RetryPolicy{MaxRetries: *retries, BaseDelay: *retryBase, MaxDelay: 5 * time.Second},
+		Workers:       *workers,
+		Measure:       *measure,
+		Warmup:        *warmup,
+		Seeds:         *seeds,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "ibsim serve: listening on http://%s (POST specs to /run)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of re-draining
+	fmt.Fprintf(os.Stderr, "ibsim serve: draining (in-flight jobs get up to %v)\n", *drain)
+	srv.Shutdown(*drain)
+	closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(closeCtx)
+	fmt.Fprintln(os.Stderr, "ibsim serve: drained, bye")
+}
+
 // --- playground -------------------------------------------------------------
 
 // playgroundConfig holds the playground's flag targets.
@@ -243,6 +328,7 @@ func playgroundFlags() (*flag.FlagSet, *playgroundConfig) {
 		fmt.Fprintln(w, "  ibsim list                      list registered experiments")
 		fmt.Fprintln(w, "  ibsim run -spec file.json ...   run a declarative JSON experiment spec")
 		fmt.Fprintln(w, "  ibsim export -id fig7a ...      write a registered spec as JSON")
+		fmt.Fprintln(w, "  ibsim serve -addr host:port ... serve specs over HTTP (crash-safe, resumable)")
 		fmt.Fprintln(w, "  ibsim [flags]                   playground: one converged scenario")
 		fmt.Fprintln(w, "\nPlayground flags:")
 		fs.VisitAll(func(f *flag.Flag) {

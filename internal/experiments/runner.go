@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -24,14 +27,37 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// recovered invokes fn(i), converting a panic into an error carrying the
+// panic value and stack. One poisoned job must fail its own slot, never
+// the pool: the worker goroutines and the sequential reference loop share
+// this wrapper, so containment does not depend on the mode.
+func recovered[T any](i int, fn func(int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: job %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}
+
 // mapOrdered computes fn(0..n-1) on up to workers goroutines and returns
 // the results in index order. With one worker it degenerates to a plain
 // loop on the calling goroutine — the reference sequential path. On error
 // the remaining jobs still run (in every mode, so side effects do not
 // depend on the pool size), and the error of the lowest-indexed failed
 // job is returned, so the reported error does not depend on goroutine
-// interleaving either.
-func mapOrdered[T any](n, workers int, fn func(int) (T, error)) ([]T, error) {
+// interleaving either. A panicking job is contained: it becomes that job's
+// error (with the stack attached) under the same lowest-index rule.
+//
+// Cancelling ctx stops dispatch: jobs not yet started never start — in
+// every mode, so the dispatched prefix is the same shape sequentially and
+// in parallel — while jobs already in flight drain cleanly (the pool joins
+// before returning). A cancelled run reports the context's error rather
+// than any individual job's.
+func mapOrdered[T any](ctx context.Context, n, workers int, fn func(int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]T, n)
 	if workers > n {
 		workers = n
@@ -39,7 +65,10 @@ func mapOrdered[T any](n, workers int, fn func(int) (T, error)) ([]T, error) {
 	if workers <= 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("experiments: sweep cancelled after %d of %d jobs: %w", i, n, ctx.Err())
+			}
+			v, err := recovered(i, fn)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -53,21 +82,29 @@ func mapOrdered[T any](n, workers int, fn func(int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	var next atomic.Int64
 	next.Store(-1)
+	var started atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = fn(i)
+				started.Add(1)
+				out[i], errs[i] = recovered(i, fn)
 			}
 		}()
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("experiments: sweep cancelled after %d of %d jobs: %w", started.Load(), n, ctx.Err())
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -80,7 +117,7 @@ func mapOrdered[T any](n, workers int, fn func(int) (T, error)) ([]T, error) {
 // and returns the per-seed results in seed order. The result slice is
 // identical to calling Run sequentially for each seed.
 func RunSeeds(p Point, opts Options) ([]Result, error) {
-	return mapOrdered(len(opts.Seeds), opts.workers(), func(i int) (Result, error) {
+	return mapOrdered(opts.Ctx, len(opts.Seeds), opts.workers(), func(i int) (Result, error) {
 		return Run(p, opts, opts.Seeds[i])
 	})
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -37,6 +38,21 @@ type Options struct {
 	// sequential reference path. Results are byte-identical either way;
 	// see runner.go.
 	Parallel int
+	// Ctx, when non-nil, cancels runs: the sweep runner stops dispatching
+	// new jobs (sequential and parallel modes behave identically — jobs
+	// not yet started never start, jobs in flight drain), and a running
+	// simulation aborts at its next engine interrupt poll. Completed
+	// results are never affected: a nil or never-cancelled Ctx is the
+	// byte-identical reference path.
+	Ctx context.Context
+}
+
+// ctx returns the run context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultOptions mirror the paper's protocol scaled to simulation time:
@@ -63,9 +79,15 @@ func (o Options) start() units.Time { return units.Time(0).Add(o.Warmup) }
 
 // Result carries the measured outputs of one Point run under one seed.
 // Only the fields matching the point's workload groups are populated.
+// Result serializes to JSON losslessly except for LSGHist, which is
+// excluded: the raw histogram backs only within-run derivations (tenant
+// tails, fault inflation), never the cross-seed reduction, so a Result
+// restored from a service checkpoint reduces to byte-identical tables (the
+// serve package depends on this; float64 values survive encoding/json
+// exactly).
 type Result struct {
 	LSG     stats.Summary
-	LSGHist *stats.Histogram
+	LSGHist *stats.Histogram `json:"-"`
 	BSGGbps []float64 // per-BSG goodput, source order
 	Pretend float64   // pretend-LSG goodput (Gb/s), if enabled
 	Total   float64   // total bulk goodput including the pretend flow
@@ -168,6 +190,9 @@ func RunFabric(p Point, fab model.FabricParams, opts Options, seed uint64) (Resu
 // numbering) but starts — and collects — only the groups owned by that
 // tenant, producing the isolation baseline for interference metrics.
 func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, isolate int) (Result, error) {
+	if err := opts.ctx().Err(); err != nil {
+		return Result{}, fmt.Errorf("experiments: run cancelled: %w", err)
+	}
 	slc, err := resolveSlicing(p, fab)
 	if err != nil {
 		return Result{}, err
@@ -478,7 +503,18 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 	}
 
 	end := opts.end()
+	if ctx := opts.Ctx; ctx != nil {
+		// A cancelled context (the sweep runner draining, a per-job
+		// deadline expiring) aborts the simulation at the engine's next
+		// interrupt poll instead of grinding to the scheduled end. The
+		// check is a nil test per event when no context is set, so the
+		// reference path's hot loop is untouched.
+		c.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
 	c.RunUntil(end)
+	if c.Interrupted() {
+		return Result{}, fmt.Errorf("experiments: run cancelled at %v of %v simulated: %w", c.Eng.Now(), end, opts.Ctx.Err())
+	}
 
 	// Collect in workload order; every reduction downstream preserves it.
 	// Isolation runs collect only the isolated tenant's groups — the rest

@@ -678,10 +678,11 @@ func FormatMetric(name string, m Metrics) (string, error) {
 	return f(m), nil
 }
 
-// reduceSeeds averages per-seed results in seed order (sums the sample
-// count). It is the only place seed results are combined, so parallel
-// sweeps reproduce the sequential output bit for bit.
-func reduceSeeds(results []Result) Metrics {
+// ReduceSeeds averages per-seed results in seed order (sums the sample
+// count). It is the only place seed results are combined — the sweep
+// engine and the serve package both call it — so parallel sweeps and
+// checkpoint-restored sweeps reproduce the sequential output bit for bit.
+func ReduceSeeds(results []Result) Metrics {
 	var m Metrics
 	var meds, tails, pretends, totals []float64
 	var rmeds, rtails, pp50, pp999, qmean, fair []float64

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// SpecHash returns the hex SHA-256 of the spec's canonical JSON form. The
+// canonical form is json.Marshal's output, which TestSpecMarshalFixedPoint
+// pins as a fixed point of Marshal ∘ Unmarshal ∘ Marshal — so a spec
+// hashed before serialization, after a JSON round trip, or after being
+// re-POSTed by a client byte-for-byte hashes identically. The serve
+// package keys its checkpoint and memo entries on it (plus the run
+// options and code version, which the hash deliberately excludes: they
+// are not part of the experiment's identity).
+//
+// The hash covers only validated content: callers should hash specs that
+// passed Validate, since two invalid specs may canonicalize equally.
+func SpecHash(s Spec) (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("spec: hashing: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSpecHashFixedPoint: the hash is stable across JSON round trips for
+// every registered spec — the property that lets a re-POSTed spec find
+// the checkpoint its first submission journaled — and distinct specs hash
+// distinctly.
+func TestSpecHashFixedPoint(t *testing.T) {
+	seen := map[string]string{}
+	for _, d := range Definitions() {
+		h1, err := SpecHash(d.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", d.ID, err)
+		}
+		if len(h1) != 64 {
+			t.Fatalf("%s: hash %q is not hex SHA-256", d.ID, h1)
+		}
+		data, err := json.Marshal(d.Spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", d.ID, err)
+		}
+		parsed, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", d.ID, err)
+		}
+		h2, err := SpecHash(parsed)
+		if err != nil {
+			t.Fatalf("%s: rehash: %v", d.ID, err)
+		}
+		if h1 != h2 {
+			t.Errorf("%s: hash not stable across a JSON round trip: %s vs %s", d.ID, h1, h2)
+		}
+		if prev, dup := seen[h1]; dup {
+			t.Errorf("%s and %s share a hash: the key cannot distinguish their checkpoints", d.ID, prev)
+		}
+		seen[h1] = d.ID
+	}
+}
+
+// TestSpecHashSensitivity: editing any part of the experiment's identity
+// must move the hash — a stale checkpoint served for an edited spec would
+// silently return the wrong experiment's results.
+func TestSpecHashSensitivity(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2,"payload":4096}]},"collect":["lsg_p50_us"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SpecHash(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := spec
+	edited.Base = &Point{}
+	*edited.Base = *spec.Base
+	wl := make(Workload, len(spec.Base.Workload))
+	copy(wl, spec.Base.Workload)
+	wl[0].Payload = 8192
+	edited.Base.Workload = wl
+	h, err := SpecHash(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == base {
+		t.Fatal("payload edit did not change the spec hash")
+	}
+	edited2 := spec
+	edited2.Collect = []string{"lsg_p999_us"}
+	h2, err := SpecHash(edited2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 == base {
+		t.Fatal("collect edit did not change the spec hash")
+	}
+}

@@ -44,33 +44,36 @@ type Definition struct {
 	Paper bool
 }
 
-// resolvedPoint pairs a fully-applied point with its axis labels.
-type resolvedPoint struct {
-	p      Point
-	labels []string
+// ResolvedPoint pairs a fully-applied grid point with its formatted axis
+// labels (one per sweep axis, in axis order).
+type ResolvedPoint struct {
+	Point  Point
+	Labels []string
 }
 
 // Points resolves the sweep grid in enumeration order: the cross product
 // of the axes, first axis outermost (slowest-varying). With no axes the
 // grid is the base point alone.
 func (s Spec) Points() ([]Point, error) {
-	rps, err := s.resolvePoints()
+	rps, err := s.Resolve()
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Point, len(rps))
 	for i, rp := range rps {
-		out[i] = rp.p
+		out[i] = rp.Point
 	}
 	return out, nil
 }
 
-func (s Spec) resolvePoints() ([]resolvedPoint, error) {
+// Resolve returns the sweep grid with labels, in enumeration order — the
+// job list an external scheduler (the serve package) fans out itself.
+func (s Spec) Resolve() ([]ResolvedPoint, error) {
 	n := 1
 	for a, ax := range s.Sweep {
 		// An empty axis would multiply the grid down to zero points and
 		// produce an empty table with no error. Spec.Validate rejects empty
-		// value lists in parsed specs, but Points/resolvePoints are also
+		// value lists in parsed specs, but Points/Resolve are also
 		// reachable with programmatically-built specs that were never
 		// validated — fail loudly here too, naming the offending axis.
 		if ax.Len() == 0 {
@@ -78,7 +81,7 @@ func (s Spec) resolvePoints() ([]resolvedPoint, error) {
 		}
 		n *= ax.Len()
 	}
-	out := make([]resolvedPoint, 0, n)
+	out := make([]ResolvedPoint, 0, n)
 	coord := make([]int, len(s.Sweep))
 	for i := 0; i < n; i++ {
 		// Decode i into axis coordinates, first axis most significant.
@@ -106,7 +109,7 @@ func (s Spec) resolvePoints() ([]resolvedPoint, error) {
 		if err := p.validate(fmt.Sprintf("point[%d]", i)); err != nil {
 			return nil, err
 		}
-		out = append(out, resolvedPoint{p: p, labels: labels})
+		out = append(out, ResolvedPoint{Point: p, Labels: labels})
 	}
 	return out, nil
 }
@@ -168,13 +171,13 @@ func RunSpec(d Definition, opts Options) (*Table, error) {
 	if err := d.Spec.Validate(); err != nil {
 		return nil, err
 	}
-	rps, err := d.Spec.resolvePoints()
+	rps, err := d.Spec.Resolve()
 	if err != nil {
 		return nil, err
 	}
 	seeds := len(opts.Seeds)
-	results, err := mapOrdered(len(rps)*seeds, opts.workers(), func(i int) (Result, error) {
-		return Run(rps[i/seeds].p, opts, opts.Seeds[i%seeds])
+	results, err := mapOrdered(opts.Ctx, len(rps)*seeds, opts.workers(), func(i int) (Result, error) {
+		return Run(rps[i/seeds].Point, opts, opts.Seeds[i%seeds])
 	})
 	if err != nil {
 		return nil, err
@@ -182,11 +185,23 @@ func RunSpec(d Definition, opts Options) (*Table, error) {
 	pts := make([]PointResult, len(rps))
 	for i, rp := range rps {
 		pts[i] = PointResult{
-			Point:  rp.p,
-			Labels: rp.labels,
-			M:      reduceSeeds(results[i*seeds : (i+1)*seeds]),
+			Point:  rp.Point,
+			Labels: rp.Labels,
+			M:      ReduceSeeds(results[i*seeds : (i+1)*seeds]),
 		}
 	}
+	t := TableShell(d)
+	if err := AssembleInto(t, d, pts); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// TableShell builds the empty table RunSpec would fill for d: identity
+// resolved against the spec, columns defaulted to the generic layout. The
+// serve package emits its meta (and streams rows into it) so a served
+// sweep's header is byte-identical to the CLI's.
+func TableShell(d Definition) *Table {
 	t := &Table{ID: d.ID, Title: d.Title, Columns: d.Columns, Notes: d.Notes}
 	if t.ID == "" {
 		t.ID = d.Spec.ID
@@ -197,17 +212,21 @@ func RunSpec(d Definition, opts Options) (*Table, error) {
 	if len(t.Notes) == 0 {
 		t.Notes = d.Spec.Notes
 	}
+	if len(t.Columns) == 0 {
+		t.Columns = genericColumns(d.Spec)
+	}
+	return t
+}
+
+// AssembleInto appends d's rows for the ordered point results to a table
+// built by TableShell: the definition's custom Reduce when present, the
+// generic long format otherwise, panics contained either way.
+func AssembleInto(t *Table, d Definition, pts []PointResult) error {
 	reduce := d.Reduce
 	if reduce == nil {
 		reduce = genericReduce(d.Spec)
 	}
-	if len(t.Columns) == 0 {
-		t.Columns = genericColumns(d.Spec)
-	}
-	if err := safeReduce(reduce, t, pts); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return safeReduce(reduce, t, pts)
 }
 
 // safeReduce runs a row-assembly function, converting panics into errors.
@@ -233,18 +252,29 @@ func genericColumns(s Spec) []string {
 	return append(cols, s.Collect...)
 }
 
-// genericReduce renders the long format: one row per point — axis labels,
-// then the Collect metrics in order.
+// GenericRow renders one point's long-format row: axis labels, then the
+// spec's Collect metrics in order. It is the unit the generic reducer
+// loops over, exported so the serve package can stream rows point by
+// point with the exact bytes a batch run would produce.
+func GenericRow(s Spec, pr PointResult) ([]string, error) {
+	row := append([]string(nil), pr.Labels...)
+	for _, name := range s.Collect {
+		cell, err := FormatMetric(name, pr.M)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, cell)
+	}
+	return row, nil
+}
+
+// genericReduce renders the long format: one row per point.
 func genericReduce(s Spec) ReduceFunc {
 	return func(t *Table, pts []PointResult) error {
 		for _, pr := range pts {
-			row := append([]string(nil), pr.Labels...)
-			for _, name := range s.Collect {
-				cell, err := FormatMetric(name, pr.M)
-				if err != nil {
-					return err
-				}
-				row = append(row, cell)
+			row, err := GenericRow(s, pr)
+			if err != nil {
+				return err
 			}
 			t.AddRow(row...)
 		}
@@ -252,15 +282,15 @@ func genericReduce(s Spec) ReduceFunc {
 	}
 }
 
-// RunSpecGeneric runs a bare Spec (typically parsed from JSON) with the
-// generic presentation. If the spec's ID matches a registered definition,
-// the registry's presentation (title, columns, custom row assembly) is
-// used instead, so a serialized figure spec reproduces the figure's exact
-// table.
-func RunSpecGeneric(s Spec, opts Options) (*Table, error) {
+// DefinitionFor resolves a bare Spec (typically parsed from JSON) to the
+// definition that runs it: the registry's presentation when the id is
+// registered (title, columns, custom row assembly — so a serialized
+// figure spec reproduces the figure's exact table), the generic
+// presentation otherwise. The loaded spec always governs what runs.
+func DefinitionFor(s Spec) Definition {
 	if d, ok := Lookup(s.ID); ok {
 		d.Spec = s // the loaded spec governs what runs; the registry styles it
-		return RunSpec(d, opts)
+		return d
 	}
 	id := s.ID
 	if id == "" {
@@ -270,5 +300,10 @@ func RunSpecGeneric(s Spec, opts Options) (*Table, error) {
 	if title == "" {
 		title = "user-defined experiment"
 	}
-	return RunSpec(Definition{ID: id, Title: title, Spec: s}, opts)
+	return Definition{ID: id, Title: title, Spec: s}
+}
+
+// RunSpecGeneric runs a bare Spec through DefinitionFor's resolution.
+func RunSpecGeneric(s Spec, opts Options) (*Table, error) {
+	return RunSpec(DefinitionFor(s), opts)
 }

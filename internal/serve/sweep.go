@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Sweep execution. A sweep is the flat point×seed job grid of one spec:
+// jobs dispatch across a worker pool, each runs under the retry/deadline
+// policy with panics contained, completed results journal to the
+// checkpoint, and rows stream to the client in grid order as points
+// finish. The streamed bytes match `ibsim run -format jsonl` of the same
+// spec exactly — header, row order, cell formatting — with one addition:
+// failed points become {"type":"error",...} lines and an interrupted
+// sweep ends with an error trailer instead of silently truncating.
+
+// jsonlError is the row-level error line. A failed point contributes one
+// of these at the position its row would have occupied; point -1 marks a
+// sweep-level error (interruption, reduce failure).
+type jsonlError struct {
+	Type  string   `json:"type"`
+	ID    string   `json:"id"`
+	Point int      `json:"point"`
+	Label []string `json:"labels,omitempty"`
+	Error string   `json:"error"`
+}
+
+// memoKey derives the checkpoint/memo identity of one sweep: the spec's
+// canonical hash plus everything else that determines its results — the
+// run options and the code version. Two requests share results if and
+// only if they share a key.
+func memoKey(spec experiments.Spec, opts experiments.Options, version string) (string, error) {
+	sh, err := experiments.SpecHash(spec)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(fmt.Appendf(nil, "%s|measure=%d|warmup=%d|seeds=%v|code=%s",
+		sh, opts.Measure, opts.Warmup, opts.Seeds, version))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// jobResult carries one finished job back to the collector.
+type jobResult struct {
+	job int
+	res experiments.Result
+	err error
+}
+
+// pointState tracks one grid point's progress toward emission.
+type pointState struct {
+	done int   // seed jobs accounted for (completed or failed)
+	err  error // first seed failure, if any
+}
+
+// runSweep executes one admitted sweep and streams its table to w.
+func (s *Server) runSweep(w http.ResponseWriter, r *http.Request, spec experiments.Spec, opts experiments.Options) {
+	d := experiments.DefinitionFor(spec)
+	rps, err := spec.Resolve()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nseeds := len(opts.Seeds)
+	njobs := len(rps) * nseeds
+
+	key, err := memoKey(spec, opts, s.cfg.Version)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Serialize identical concurrent sweeps: the loser of the race resumes
+	// from (or memo-reads) whatever the winner journaled.
+	var log *checkpointLog
+	done := map[int]experiments.Result{}
+	if s.cfg.CheckpointDir != "" {
+		unlock := s.lockKey(key)
+		defer unlock()
+		log, done, err = openCheckpoint(s.cfg.CheckpointDir, key, njobs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer log.close()
+		if len(done) == 0 {
+			writeSpec(s.cfg.CheckpointDir, key, spec)
+		}
+	}
+	if n := len(done); n > 0 {
+		s.jobsResumed.Add(uint64(n))
+		if n == njobs {
+			s.memoHits.Add(1)
+		}
+	}
+
+	// dispatchCtx gates claiming new jobs: cancelled by server drain or the
+	// client going away. jobCtx is what running jobs see: it additionally
+	// survives graceful drain, falling only to the hard-cancel deadline.
+	dispatch, cancelDispatch := mergedContext(r.Context(), s.dispatchCtx)
+	defer cancelDispatch()
+	jobCtx, cancelJobs := mergedContext(r.Context(), s.hardCtx)
+	defer cancelJobs()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	shell := experiments.TableShell(d)
+	sink := experiments.NewJSONLSink(w)
+	enc := json.NewEncoder(w)
+	sink.Begin(experiments.TableMeta{ID: shell.ID, Title: shell.Title, Columns: shell.Columns, Notes: shell.Notes})
+	flush()
+
+	// Dispatch the missing jobs across the pool. The collector below
+	// drains the results channel to completion, so workers never block on
+	// send even when the sweep aborts early.
+	missing := make([]int, 0, njobs)
+	for i := 0; i < njobs; i++ {
+		if _, ok := done[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	results := make(chan jobResult)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := s.cfg.Workers
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if dispatch.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(missing) {
+					return
+				}
+				job := missing[i]
+				res, err := s.runJob(jobCtx, rps[job/nseeds].Point, opts, opts.Seeds[job%nseeds])
+				results <- jobResult{job: job, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collect, journal, and emit in grid order. state tracks per-point
+	// completion; cursor is the next point whose row (or error line) can
+	// stream. Custom-reduce definitions cannot emit until every point is
+	// in (their rows are a function of the whole grid), so those buffer.
+	resByJob := make([]experiments.Result, njobs)
+	state := make([]pointState, len(rps))
+	completed := len(done)
+	for j, res := range done {
+		resByJob[j] = res
+		state[j/nseeds].done++
+	}
+	cursor := 0
+	generic := d.Reduce == nil
+	emitReady := func() {
+		for ; cursor < len(state) && state[cursor].done == nseeds; cursor++ {
+			ps := state[cursor]
+			if ps.err != nil {
+				s.emitError(enc, shell.ID, cursor, rps[cursor].Labels, ps.err)
+				flush()
+				continue
+			}
+			if !generic {
+				continue
+			}
+			pr := experiments.PointResult{
+				Point:  rps[cursor].Point,
+				Labels: rps[cursor].Labels,
+				M:      experiments.ReduceSeeds(resByJob[cursor*nseeds : (cursor+1)*nseeds]),
+			}
+			row, err := experiments.GenericRow(spec, pr)
+			if err != nil {
+				s.emitError(enc, shell.ID, cursor, rps[cursor].Labels, err)
+			} else {
+				sink.Row(row)
+			}
+			flush()
+		}
+	}
+	emitReady()
+	for jr := range results {
+		if jr.err != nil && jobCtx.Err() != nil {
+			// The sweep was cancelled out from under the job; that is an
+			// interruption, not a result. Leave the job un-journaled so a
+			// resume re-runs it.
+			continue
+		}
+		pt := jr.job / nseeds
+		state[pt].done++
+		completed++
+		if jr.err != nil {
+			s.jobsFailed.Add(1)
+			if state[pt].err == nil {
+				state[pt].err = fmt.Errorf("seed %d: %w", opts.Seeds[jr.job%nseeds], jr.err)
+			}
+			// Failed jobs abort the rest of their point's emission but the
+			// grid keeps running: one poisoned point must not starve its
+			// neighbors. They also stay out of the journal so a re-POST
+			// retries them.
+		} else {
+			s.jobsRun.Add(1)
+			resByJob[jr.job] = jr.res
+			if log != nil {
+				if err := log.append(jr.job, jr.res); err != nil {
+					// Journal trouble degrades to recompute-on-resume; the
+					// stream itself is still good.
+					log = nil
+				}
+			}
+		}
+		emitReady()
+	}
+
+	if interrupted := completed < njobs; interrupted {
+		s.emitError(enc, shell.ID, -1, nil, fmt.Errorf(
+			"sweep interrupted after %d of %d jobs (%v); completed jobs are checkpointed — re-POST the spec to resume",
+			completed, njobs, cause(jobCtx, dispatch)))
+		flush()
+		return
+	}
+	if !generic {
+		anyErr := false
+		for i := range state {
+			if state[i].err != nil {
+				anyErr = true
+			}
+		}
+		// Error lines already streamed from emitReady; rows only render
+		// from a fully successful grid.
+		if !anyErr {
+			pts := make([]experiments.PointResult, len(rps))
+			for i, rp := range rps {
+				pts[i] = experiments.PointResult{
+					Point:  rp.Point,
+					Labels: rp.Labels,
+					M:      experiments.ReduceSeeds(resByJob[i*nseeds : (i+1)*nseeds]),
+				}
+			}
+			if err := experiments.AssembleInto(shell, d, pts); err != nil {
+				s.emitError(enc, shell.ID, -1, nil, err)
+			} else {
+				for _, row := range shell.Rows {
+					sink.Row(row)
+				}
+			}
+		}
+	}
+	sink.End()
+	flush()
+}
+
+// emitError writes one error line. point < 0 marks a sweep-level error.
+func (s *Server) emitError(enc *json.Encoder, id string, point int, labels []string, err error) {
+	enc.Encode(jsonlError{Type: "error", ID: id, Point: point, Label: labels, Error: err.Error()})
+}
+
+// cause picks the most informative cancellation reason.
+func cause(jobCtx, dispatch context.Context) error {
+	if err := jobCtx.Err(); err != nil {
+		return fmt.Errorf("hard-cancelled: %w", err)
+	}
+	if err := dispatch.Err(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return errors.New("dispatch stopped")
+}
+
+// runJob runs one (point, seed) job under the retry policy: transient
+// failures back off and retry up to MaxRetries times; terminal failures
+// and parent cancellation return immediately.
+func (s *Server) runJob(ctx context.Context, p experiments.Point, opts experiments.Options, seed uint64) (experiments.Result, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := s.safeRun(ctx, p, opts, seed)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil || !IsTransient(err) || attempt >= s.cfg.Retry.MaxRetries {
+			return res, err
+		}
+		s.retries.Add(1)
+		if d := s.cfg.Retry.Backoff(attempt + 1); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return res, err
+			}
+		}
+	}
+}
+
+// safeRun executes one job attempt: the per-job deadline applies, and a
+// panic anywhere inside the simulation becomes a terminal job error
+// carrying the stack instead of taking down the process.
+func (s *Server) safeRun(parent context.Context, p experiments.Point, opts experiments.Options, seed uint64) (res experiments.Result, err error) {
+	ctx := parent
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.JobDeadline > 0 {
+		ctx, cancel = context.WithTimeout(parent, s.cfg.JobDeadline)
+	}
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			err = Terminal(fmt.Errorf("serve: job (seed %d) panicked: %v\n%s", seed, r, debug.Stack()))
+		}
+	}()
+	res, err = s.cfg.Runner(ctx, p, opts, seed)
+	if err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) && parent.Err() == nil {
+		err = fmt.Errorf("serve: job deadline %v exceeded: %w", s.cfg.JobDeadline, context.DeadlineExceeded)
+	}
+	return res, err
+}
+
+// mergedContext derives a context cancelled when either parent is. The
+// returned stop function releases the watcher and cancels the child.
+func mergedContext(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	unhook := context.AfterFunc(b, cancel)
+	return ctx, func() {
+		unhook()
+		cancel()
+	}
+}

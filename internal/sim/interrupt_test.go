@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The interrupt tests pin the external-abort contract: an installed check
+// is polled every interruptStride events, a firing check stops the run
+// without advancing the clock to the deadline, and a check that never
+// fires costs a run nothing observable. The serve package's per-job
+// deadlines and ibsim run's ^C handling both stand on this.
+
+// atTick converts a tick count to the sim time at which the chain below
+// executes its n-th event (one event per nanosecond).
+func atTick(n int) units.Time {
+	return units.Time(0).Add(units.Duration(n) * units.Nanosecond)
+}
+
+// tick schedules a self-perpetuating 1 ns event chain and returns the
+// execution counter.
+func tick(e *Engine) *int {
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		e.After(1*units.Nanosecond, "tick", loop)
+	}
+	e.At(0, "tick", loop)
+	return &n
+}
+
+func TestInterruptAbortsRunUntil(t *testing.T) {
+	e := New()
+	n := tick(e)
+	fire := false
+	e.SetInterrupt(func() bool { return fire })
+	deadline := atTick(10 * interruptStride) // plenty of events past the trigger
+	e.At(atTick(interruptStride+10), "trip", func() { fire = true })
+	e.RunUntil(deadline)
+	if !e.Aborted() {
+		t.Fatal("engine did not abort")
+	}
+	if e.Now() >= deadline {
+		t.Fatalf("aborted run advanced the clock to the deadline: now=%v", e.Now())
+	}
+	// The abort must land within one poll stride of the trigger.
+	if got := *n; got > 2*interruptStride+16 {
+		t.Fatalf("abort latency too high: %d events ran", got)
+	}
+}
+
+func TestInterruptNeverFiringIsInvisible(t *testing.T) {
+	run := func(install bool) (units.Time, int) {
+		e := New()
+		n := tick(e)
+		if install {
+			e.SetInterrupt(func() bool { return false })
+		}
+		e.RunUntil(atTick(3 * interruptStride))
+		return e.Now(), *n
+	}
+	nowA, ranA := run(false)
+	nowB, ranB := run(true)
+	if nowA != nowB || ranA != ranB {
+		t.Fatalf("inactive interrupt changed the run: (%v,%d) vs (%v,%d)", nowA, ranA, nowB, ranB)
+	}
+	e := New()
+	tick(e)
+	e.SetInterrupt(func() bool { return false })
+	e.RunUntil(atTick(interruptStride))
+	if e.Aborted() {
+		t.Fatal("Aborted true though the check never fired")
+	}
+}
+
+func TestInterruptClearedBySetNil(t *testing.T) {
+	e := New()
+	tick(e)
+	e.SetInterrupt(func() bool { return true })
+	e.RunUntil(atTick(2 * interruptStride))
+	if !e.Aborted() {
+		t.Fatal("want abort with an always-true check")
+	}
+	e.SetInterrupt(nil)
+	if e.Aborted() {
+		t.Fatal("SetInterrupt(nil) must reset Aborted")
+	}
+	e.RunUntil(atTick(4 * interruptStride))
+	if e.Aborted() {
+		t.Fatal("cleared interrupt still fired")
+	}
+	if e.Now() != atTick(4*interruptStride) {
+		t.Fatalf("run with cleared interrupt stopped early at %v", e.Now())
+	}
+}
+
+// TestCoordinatorInterrupt verifies the sharded runner honors the abort in
+// both execution modes: the run stops early, Aborted reports it, and the
+// worker goroutines join (the test would deadlock or leak otherwise).
+func TestCoordinatorInterrupt(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		coord, _, _ := buildPingPong(t, 2, 1, 100*units.Nanosecond, 1<<40)
+		coord.Parallel = parallel
+		fire := false
+		coord.SetInterrupt(func() bool { return fire })
+		// Trip the check from inside shard 0 partway through the run.
+		coord.Shard(0).Eng.At(units.Time(5*units.Microsecond), "trip", func() { fire = true })
+		end := units.Time(1 * units.Second) // far beyond reach: only the abort ends this run
+		coord.RunUntil(end)
+		if !coord.Aborted() {
+			t.Fatalf("parallel=%v: coordinator did not abort", parallel)
+		}
+		if now := coord.Shard(0).Eng.Now(); now >= end {
+			t.Fatalf("parallel=%v: aborted run advanced to the end: now=%v", parallel, now)
+		}
+	}
+}

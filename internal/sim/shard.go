@@ -107,6 +107,43 @@ type Coordinator struct {
 	// sensible mode on one core. Results are identical either way; the
 	// race detector over the parallel mode is part of `make test-shard`.
 	Parallel bool
+
+	interrupt func() bool
+	aborted   bool
+}
+
+// SetInterrupt installs an external abort check on the coordinator and on
+// every shard engine. Engines poll it inside their epochs (so even a
+// single long epoch aborts promptly); the coordinator additionally checks
+// it at each barrier and abandons the run. An aborted cluster is mid-epoch
+// and possibly out of step across shards — the caller must discard it, the
+// same contract as Engine.SetInterrupt. In the parallel barrier mode every
+// worker goroutine is joined before RunUntil returns, aborted or not.
+func (c *Coordinator) SetInterrupt(f func() bool) {
+	c.interrupt = f
+	c.aborted = false
+	for _, s := range c.shards {
+		s.Eng.SetInterrupt(f)
+	}
+}
+
+// Aborted reports whether the last RunUntil was abandoned by the
+// interrupt check.
+func (c *Coordinator) Aborted() bool { return c.aborted }
+
+// interrupted is the coordinator's own barrier-time check.
+func (c *Coordinator) interrupted() bool {
+	if c.interrupt != nil && c.interrupt() {
+		c.aborted = true
+		return true
+	}
+	for _, s := range c.shards {
+		if s.Eng.Aborted() {
+			c.aborted = true
+			return true
+		}
+	}
+	return false
 }
 
 // NewCoordinator builds n shards advancing in epochs of the given
@@ -185,6 +222,9 @@ func (c *Coordinator) runRounds(start, end units.Time) {
 		for _, s := range c.shards {
 			s.runEpoch(horizon, final)
 		}
+		if c.interrupted() {
+			return
+		}
 		c.exchange()
 		if final {
 			return
@@ -225,6 +265,9 @@ func (c *Coordinator) runChannelBarrier(start, end units.Time) {
 			ch <- epochCmd{horizon, final}
 		}
 		wg.Wait()
+		if c.interrupted() {
+			break
+		}
 		c.exchange()
 		if final {
 			break

@@ -96,7 +96,19 @@ type Engine struct {
 	// Trace, when non-nil, is invoked before each event executes. Used by
 	// debugging tools and the engine's own tests.
 	Trace func(at units.Time, label string)
+
+	// interrupt, when non-nil, is polled every interruptStride events by
+	// RunUntil/RunBefore; returning true aborts the run (see SetInterrupt).
+	interrupt func() bool
+	poll      int
+	aborted   bool
 }
+
+// interruptStride is how many events execute between interrupt polls. The
+// poll itself (typically a context.Context.Err call) costs far more than an
+// event, so it is amortized; when no interrupt is installed the run loops
+// pay only a nil check per event.
+const interruptStride = 4096
 
 // New returns an empty engine at time zero.
 func New() *Engine {
@@ -241,6 +253,38 @@ func (e *Engine) Reschedule(ev *Event, at units.Time) {
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetInterrupt installs (or, with nil, removes) an external abort check:
+// RunUntil and RunBefore poll f every interruptStride events and return
+// early — without advancing the clock to the deadline — when it reports
+// true. The check is how a cancelled context.Context or an expired per-job
+// deadline reaches into a long simulation without the engine importing
+// either concept. An aborted run leaves the fabric mid-flight; the caller
+// must treat its state as unusable and discard the result (Aborted reports
+// whether that happened).
+func (e *Engine) SetInterrupt(f func() bool) {
+	e.interrupt = f
+	e.poll = interruptStride
+	e.aborted = false
+}
+
+// Aborted reports whether the last RunUntil/RunBefore returned early
+// because the interrupt check fired.
+func (e *Engine) Aborted() bool { return e.aborted }
+
+// interrupted amortizes the interrupt poll: it decrements the stride
+// counter and consults the check only when it reaches zero.
+func (e *Engine) interrupted() bool {
+	if e.poll--; e.poll > 0 {
+		return false
+	}
+	e.poll = interruptStride
+	if e.interrupt() {
+		e.aborted = true
+		return true
+	}
+	return false
+}
+
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
@@ -276,11 +320,16 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled beyond the deadline remain queued.
+// An installed interrupt check (SetInterrupt) can abort the run early, in
+// which case the clock is NOT advanced to the deadline.
 func (e *Engine) RunUntil(deadline units.Time) {
 	e.stopped = false
 	for !e.stopped {
 		if e.queue.len() == 0 || e.queue.min().at > deadline {
 			break
+		}
+		if e.interrupt != nil && e.interrupted() {
+			return
 		}
 		e.Step()
 	}
@@ -299,6 +348,9 @@ func (e *Engine) RunBefore(horizon units.Time) {
 	for !e.stopped {
 		if e.queue.len() == 0 || e.queue.min().at >= horizon {
 			break
+		}
+		if e.interrupt != nil && e.interrupted() {
+			return
 		}
 		e.Step()
 	}

@@ -45,6 +45,28 @@ func (c *Cluster) RunUntil(end units.Time) {
 	c.Eng.RunUntil(end)
 }
 
+// SetInterrupt installs an external abort check on the fabric's engine (or
+// every shard engine plus the coordinator's barriers, for a sharded build).
+// When the check fires, RunUntil returns early and the cluster must be
+// discarded — see sim.Engine.SetInterrupt. Interrupted reports whether
+// that happened.
+func (c *Cluster) SetInterrupt(f func() bool) {
+	if c.Coord != nil {
+		c.Coord.SetInterrupt(f)
+		return
+	}
+	c.Eng.SetInterrupt(f)
+}
+
+// Interrupted reports whether the last RunUntil was aborted by the check
+// installed with SetInterrupt.
+func (c *Cluster) Interrupted() bool {
+	if c.Coord != nil {
+		return c.Coord.Aborted()
+	}
+	return c.Eng.Aborted()
+}
+
 // RNG derives a deterministic random stream for a cluster component.
 func (c *Cluster) RNG(label string) *rng.Source { return c.root.Split(label) }
 
