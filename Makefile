@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-shard test-debugpackets test-faults test-serve golden smoke-examples smoke-specs smoke-serve ci
+.PHONY: all vet build test race cover bench bench-queue bench-sweep bench-json bench-compare test-alloc test-shard test-debugpackets test-faults test-serve test-workload golden smoke-examples smoke-specs smoke-serve ci
 
 all: vet build test
 
@@ -97,6 +97,14 @@ test-serve:
 	$(GO) test -race -run 'Interrupt|MapOrdered|RunCancelled|RunSeedsUncancelled|SpecHash' \
 		./internal/sim/ ./internal/experiments/
 
+# test-workload runs the open-loop subsystem suite under -race: the sealed
+# arrival-schedule purity properties, the backlog/sojourn accounting of the
+# workload package, the loadlatency goldens (hockey-stick curves byte-stable
+# across parallel modes) and the open-loop shard/parallel equivalence.
+test-workload:
+	$(GO) test -race ./internal/workload/
+	$(GO) test -race -run 'LoadLatency|OpenLoop|AxisLoad' ./internal/experiments/
+
 # smoke-serve boots the service end to end: start `ibsim serve`, POST a
 # committed spec twice (cold run, then checkpoint-memo replay) and diff
 # both streams against `ibsim run -format jsonl` of the same spec.
@@ -147,4 +155,4 @@ smoke-specs:
 		$(GO) run ./cmd/ibsim run -spec "$$f" -measure 3ms -warmup 1ms -seeds 1 >/dev/null; \
 	done
 
-ci: vet build test race cover test-alloc test-shard test-faults test-serve test-debugpackets smoke-examples smoke-serve
+ci: vet build test race cover test-alloc test-shard test-faults test-serve test-workload test-debugpackets smoke-examples smoke-serve

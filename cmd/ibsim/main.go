@@ -116,7 +116,8 @@ func cmdList(args []string) {
 
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("ibsim run", flag.ExitOnError)
-	specPath := fs.String("spec", "", "path to a JSON experiment spec (required)")
+	specPath := fs.String("spec", "", "path to a JSON experiment spec (this or -id is required)")
+	id := fs.String("id", "", "registered experiment id to run directly (see `ibsim list`)")
 	measure := fs.Duration("measure", 12*time.Millisecond, "simulated measurement window")
 	warmup := fs.Duration("warmup", 3*time.Millisecond, "simulated warmup before measuring")
 	seeds := fs.Int("seeds", 3, "number of seeds to average (paper: 3 runs)")
@@ -126,18 +127,34 @@ func cmdRun(args []string) {
 	out := fs.String("out", "", "output file (default stdout)")
 	generic := fs.Bool("generic", false, "force the generic one-row-per-point layout even for registered ids")
 	must(fs.Parse(args))
-	if *specPath == "" {
-		fatal(fmt.Errorf("run: -spec is required"))
+	if (*specPath == "") == (*id == "") {
+		fatal(fmt.Errorf("run: exactly one of -spec or -id is required"))
 	}
-	data, err := os.ReadFile(*specPath)
-	if err != nil {
-		fatal(err)
-	}
-	spec, err := experiments.ParseSpec(data)
-	if err != nil {
-		fatal(err)
+	var spec experiments.Spec
+	var reg experiments.Definition
+	registered := *id != ""
+	if registered {
+		// Run a registered experiment directly, no export round-trip. An
+		// unknown id lists everything runnable, same as `ibsim export`.
+		d, ok := experiments.Lookup(*id)
+		if !ok {
+			fatal(fmt.Errorf("run: unknown experiment %q (valid: %s)", *id, strings.Join(experiments.IDs(), ", ")))
+		}
+		reg, spec = d, d.Spec
+	} else {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err = experiments.ParseSpec(data)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *shards != 0 {
+		if spec.Base == nil {
+			fatal(fmt.Errorf("run: -shards needs a spec with a base point; %q carries its shard counts in its variants", spec.ID))
+		}
 		// Re-validate after the override so out-of-range values fail with
 		// the spec validator's error, which quotes the valid range derived
 		// from the topology (1..Pods for three-tier fat-trees, else 1).
@@ -145,6 +162,7 @@ func cmdRun(args []string) {
 		if err := spec.Validate(); err != nil {
 			fatal(err)
 		}
+		reg.Spec = spec
 	}
 	// ^C / SIGTERM cancels the sweep: dispatch stops, the running
 	// simulations abort at their next interrupt poll, and the run exits
@@ -161,15 +179,21 @@ func cmdRun(args []string) {
 		opts.Seeds = append(opts.Seeds, uint64(s))
 	}
 	var tbl *experiments.Table
-	if *generic {
+	var err error
+	switch {
+	case *generic:
 		// Bypass the registry's layout but keep the spec's identity, so
 		// downstream tooling keying on the id still sees it.
-		id := spec.ID
-		if id == "" {
-			id = "custom"
+		sid := spec.ID
+		if sid == "" {
+			sid = "custom"
 		}
-		tbl, err = experiments.RunSpec(experiments.Definition{ID: id, Title: spec.Title, Spec: spec}, opts)
-	} else {
+		tbl, err = experiments.RunSpec(experiments.Definition{ID: sid, Title: spec.Title, Spec: spec}, opts)
+	case registered:
+		// -id runs the definition itself, so a registered custom layout
+		// (columns + reduce) renders exactly as in the committed goldens.
+		tbl, err = experiments.RunSpec(reg, opts)
+	default:
 		tbl, err = experiments.RunSpecGeneric(spec, opts)
 	}
 	if err != nil {

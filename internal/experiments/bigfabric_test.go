@@ -50,9 +50,11 @@ func TestBigFabricGoldenFiles(t *testing.T) {
 var shardEquivSpec = topology.FatTreeSpec{Tiers: 3, Pods: 4, Leaves: 2, HostsPerLeaf: 2, Spines: 1}
 
 // shardEquivDefinition builds a runnable definition around one workload at a
-// given shard count: the id and columns are held constant across shard
-// counts so the rendered tables can be compared byte for byte.
-func shardEquivDefinition(id string, w Workload, shards int) Definition {
+// given shard count: the id, collect list and reduce are held constant
+// across shard counts so the rendered tables can be compared byte for byte.
+// A nil reduce falls back to the generic long format, which is what the
+// open-loop workload uses (its metrics have no closed-loop columns).
+func shardEquivDefinition(id string, w Workload, shards int, collect []string, reduce ReduceFunc) Definition {
 	return Definition{
 		ID:      id,
 		Title:   "Shard equivalence: " + id,
@@ -63,12 +65,20 @@ func shardEquivDefinition(id string, w Workload, shards int) Definition {
 				Shards:   shards,
 				Workload: w,
 			},
-			Collect: []string{"lsg_p50_us", "lsg_p999_us", "bulk_total_gbps", "lsg_samples"},
+			Collect: collect,
 		},
-		Reduce: rowReduce(func(_ int, pr PointResult) []string {
-			return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs), f2(pr.M.TotalGbps), fmt.Sprint(pr.M.LSGSamples)}
-		}),
+		Reduce: reduce,
 	}
+}
+
+// closedCollect and closedReduce are the original closed-loop table shape
+// shared by the incast and all-to-all equivalence cases.
+var closedCollect = []string{"lsg_p50_us", "lsg_p999_us", "bulk_total_gbps", "lsg_samples"}
+
+func closedReduce() ReduceFunc {
+	return rowReduce(func(_ int, pr PointResult) []string {
+		return []string{f2(pr.M.LSGMedianUs), f2(pr.M.LSGTailUs), f2(pr.M.TotalGbps), fmt.Sprint(pr.M.LSGSamples)}
+	})
 }
 
 // TestShardEquivalenceTables is the acceptance criterion of the sharded
@@ -78,19 +88,43 @@ func shardEquivDefinition(id string, w Workload, shards int) Definition {
 // experiment pipeline — warmup trimming, percentile extraction, table
 // formatting — through the coordinator.
 func TestShardEquivalenceTables(t *testing.T) {
-	workloads := map[string]Workload{
+	cases := map[string]struct {
+		w       Workload
+		collect []string
+		reduce  ReduceFunc
+	}{
 		"incast": {
-			{Kind: GroupBSG, Count: 8, Payload: 4096},
-			{Kind: GroupLSG},
+			w: Workload{
+				{Kind: GroupBSG, Count: 8, Payload: 4096},
+				{Kind: GroupLSG},
+			},
+			collect: closedCollect, reduce: closedReduce(),
 		},
 		"alltoall": {
-			{Kind: GroupAllToAll, Count: 2, Payload: 4096},
+			w: Workload{
+				{Kind: GroupAllToAll, Count: 2, Payload: 4096},
+			},
+			collect: closedCollect, reduce: closedReduce(),
+		},
+		// The open-loop point of the satellite property test: the Poisson
+		// schedule is a pure function of (seed, group), so the rendered
+		// table — offered and delivered goodput, sojourn tails, backlog —
+		// must not move with the shard count either.
+		"openloop": {
+			w: Workload{
+				{Kind: GroupOpenBSG, Count: 6, Payload: 4096,
+					Arrival: &Arrival{Kind: ArrivalPoisson, RateMps: 1.2e6}},
+				{Kind: GroupOpenLSG,
+					Arrival: &Arrival{Kind: ArrivalFixed, RateMps: 2e5}},
+			},
+			collect: []string{"offered_gbps", "delivered_gbps", "sojourn_p99_us", "backlog_max"},
 		},
 	}
-	for name, w := range workloads {
+	for name, tc := range cases {
+		w := tc.w
 		t.Run(name, func(t *testing.T) {
 			render := func(shards int) string {
-				tbl, err := RunSpec(shardEquivDefinition("shard-equiv-"+name, w, shards), goldenOpts(1))
+				tbl, err := RunSpec(shardEquivDefinition("shard-equiv-"+name, w, shards, tc.collect, tc.reduce), goldenOpts(1))
 				if err != nil {
 					t.Fatal(err)
 				}

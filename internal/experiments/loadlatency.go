@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"repro/internal/topology"
+)
+
+// The loadlatency scenario family: the classic open-loop load–latency
+// curve. An offered-load sweep (AxisLoad) drives Poisson arrivals into a
+// many-to-one pattern at a rising fraction of the drain link's wire rate;
+// the table reports offered vs delivered goodput and the sojourn
+// (arrival→completion) percentiles, which stay flat at low load and turn
+// sharply upward — the hockey-stick knee — as the load approaches 1.0.
+// Closed-loop generators cannot produce this curve at all: their arrival
+// rate collapses to the service rate the moment the fabric congests,
+// which is exactly the divergence the open-loop subsystem exists to show.
+
+// LoadSweep is the offered-load series of the loadlatency family, as a
+// fraction of the drain link's wire rate.
+var LoadSweep = []float64{0.1, 0.3, 0.5, 0.7, 0.85, 0.95}
+
+// loadLatencyPoint is one loadlatency variant: Count open-loop Poisson
+// senders (the base rate is a placeholder — the load axis rewrites it per
+// grid point) converging on the topology's drain.
+func loadLatencyPoint(spec topology.Spec, count, shards int) Point {
+	return Point{
+		Topology: spec,
+		Shards:   shards,
+		Workload: Workload{
+			{Kind: GroupOpenBSG, Count: count, Payload: 4096,
+				Arrival: &Arrival{Kind: ArrivalPoisson, RateMps: 1}},
+		},
+	}
+}
+
+func registerLoadLatency() {
+	Register(Definition{
+		ID:    "loadlatency",
+		Title: "Open-loop load–latency: sojourn percentiles vs offered load on star, two-tier and sharded three-tier fabrics",
+		Notes: []string{
+			"Poisson arrivals from a sealed per-group stream; load = offered wire bytes / drain link rate",
+			"sojourn runs arrival→completion (backlog wait included), the honest open-loop tail",
+			"the 512-host fabric runs sharded (shards=4); schedules and tables are byte-identical at any shard count",
+		},
+		Spec: Spec{
+			Sweep: []Axis{
+				{Field: AxisVariant, Variants: []Variant{
+					{Name: "star", Point: loadLatencyPoint(topology.SpecStar, 5, 0)},
+					{Name: "twotier", Point: loadLatencyPoint(topology.SpecTwoTier, 5, 0)},
+					{Name: "fattree512", Point: loadLatencyPoint(topology.SpecFatTree(BigFabricSpecs[0]), 8, 4)},
+				}},
+				{Field: AxisLoad, Loads: LoadSweep},
+			},
+			Collect: []string{"offered_gbps", "delivered_gbps", "sojourn_p50_us", "sojourn_p99_us", "sojourn_p999_us", "backlog_max"},
+		},
+	})
+}

@@ -28,6 +28,7 @@ func init() {
 	registerSliceSuite()
 	registerBigFabric()
 	registerFaultSuite()
+	registerLoadLatency()
 }
 
 // Register adds a definition. It panics on duplicate or empty IDs and on

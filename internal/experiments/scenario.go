@@ -16,11 +16,13 @@ import (
 	"repro/internal/ib"
 	"repro/internal/ibswitch"
 	"repro/internal/model"
+	"repro/internal/rnic"
 	"repro/internal/stats"
 	"repro/internal/tools"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 // Options control experiment length and repetition.
@@ -120,6 +122,15 @@ type Result struct {
 	// FaultP99InflationPct is the latency probe's p99 inflation over the
 	// same-seed fault-free twin (measure_inflation only).
 	FaultP99InflationPct float64
+	// Open-loop outputs (populated only when the point has openbsg/openlsg
+	// groups). Offered is the scheduled arrival payload rate inside the
+	// measurement window, Delivered the destination-metered goodput; the
+	// sojourn quantiles are arrival→completion percentiles merged across
+	// every open group (group order); BacklogMax is the deepest per-source
+	// arrival backlog any open group saw.
+	OfferedGbps, DeliveredGbps                float64
+	SojournP50Us, SojournP99Us, SojournP999Us float64
+	BacklogMax                                int
 }
 
 // Run executes one point once with the given seed. The run is sealed: it
@@ -275,6 +286,7 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 		rperf  *core.Session
 		pf     *tools.Perftest
 		qp     *tools.Qperf
+		open   *workload.Open
 		srcs   []int    // sending nodes, for limiter installation
 		starts []func() // deferred Start calls, construction order
 	}
@@ -405,6 +417,60 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 			sg.starts = append(sg.starts, qp.Start)
 			sg.srcs = append(sg.srcs, src)
 			sg.qp = qp
+		case GroupOpenBSG, GroupOpenLSG:
+			if g.Arrival == nil {
+				return Result{}, fmt.Errorf("experiments: workload[%d] kind %q requires an arrival block", gi, g.Kind)
+			}
+			var srcNodes []int
+			if g.Kind == GroupOpenBSG {
+				count := g.Count
+				if count <= 0 {
+					count = 1
+				}
+				if count > len(bsgSrcs)-cursor {
+					count = len(bsgSrcs) - cursor
+				}
+				srcNodes = append(srcNodes, bsgSrcs[cursor:cursor+count]...)
+				cursor += count
+			} else {
+				src := probeSrc
+				if g.Src != nil {
+					src = *g.Src
+				}
+				srcNodes = []int{src}
+			}
+			if len(srcNodes) == 0 {
+				return Result{}, fmt.Errorf("experiments: workload[%d] (%s) has no free bulk-source slots on topology %s", gi, g.Kind, p.Topology.Label())
+			}
+			payload := g.Payload
+			if payload == 0 {
+				payload = 64 // openlsg default; validation requires openbsg to set one
+			}
+			nics := make([]*rnic.RNIC, len(srcNodes))
+			for i, n := range srcNodes {
+				nics[i] = c.NIC(n)
+			}
+			// The arrival schedule is pre-generated inside NewOpen from the
+			// sealed (seed, group-index) stream — no cluster RNG is touched
+			// and no events are scheduled until Start, preserving the
+			// phase-split contract above.
+			ow, err := workload.NewOpen(nics, c.NIC(dst), workload.Config{
+				Seed:    seed,
+				Group:   gi,
+				Arrival: workload.Arrival{Kind: g.Arrival.Kind, RateMps: g.Arrival.RateMps, TraceUs: g.Arrival.TraceUs},
+				Payload: units.ByteSize(payload),
+				SL:      slFor(gi, g),
+				UseSend: g.Kind == GroupOpenLSG,
+				Horizon: opts.end(),
+				Warmup:  opts.start(),
+				MsgCost: units.Duration(g.MsgCostNs) * units.Nanosecond,
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			sg.starts = append(sg.starts, ow.Start)
+			sg.srcs = srcNodes
+			sg.open = ow
 		case GroupAllToAll:
 			spec := p.Topology.FatTree
 			if spec == nil {
@@ -537,6 +603,7 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 			res.TenantP999Us[ti] = h.QuantileDuration(0.999).Microseconds()
 		}
 	}
+	var sojourns *stats.Histogram // merged across open groups, group order
 	for gi, sg := range groups {
 		if isolate >= 0 && slc.owner[gi] != isolate {
 			continue
@@ -570,6 +637,23 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 			res.PerftestP999Us = units.Duration(sg.pf.RTT().P999()).Microseconds()
 		case GroupQperf:
 			res.QperfMeanUs = sg.qp.MeanRTT().Microseconds()
+		case GroupOpenBSG, GroupOpenLSG:
+			ow := sg.open
+			ow.CloseAt(end)
+			res.OfferedGbps += ow.OfferedGoodput(opts.start(), end).Gigabits()
+			d := ow.DeliveredGoodput().Gigabits()
+			res.DeliveredGbps += d
+			tenantBulk(gi, d)
+			h := ow.Sojourns()
+			tenantTail(gi, h)
+			if sojourns == nil {
+				sojourns = h
+			} else {
+				sojourns.Merge(h)
+			}
+			if b := ow.BacklogMax(); b > res.BacklogMax {
+				res.BacklogMax = b
+			}
 		case GroupAllToAll:
 			perDst := make([]float64, p.Topology.NumHosts())
 			for i, b := range sg.bsgs {
@@ -583,6 +667,11 @@ func runScenario(p Point, fab model.FabricParams, opts Options, seed uint64, iso
 				res.Fairness = mn / mx
 			}
 		}
+	}
+	if sojourns != nil && sojourns.Count() > 0 {
+		res.SojournP50Us = sojourns.QuantileDuration(0.50).Microseconds()
+		res.SojournP99Us = sojourns.QuantileDuration(0.99).Microseconds()
+		res.SojournP999Us = sojourns.QuantileDuration(0.999).Microseconds()
 	}
 	for ti, t := range p.Tenants {
 		if t.PromisedGbps > 0 {
@@ -627,7 +716,7 @@ func placement(p Point) (drain, probeSrc int, bsgSrcs []int) {
 		probeSrc = 0
 		skip := map[int]bool{probeSrc: true, drain: true}
 		for _, g := range p.Workload {
-			if g.Src != nil && g.Kind == GroupLSG {
+			if g.Src != nil && (g.Kind == GroupLSG || g.Kind == GroupOpenLSG) {
 				skip[*g.Src] = true
 			}
 			if g.Dst != nil {

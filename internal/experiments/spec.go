@@ -53,12 +53,52 @@ const (
 	// rounds (0 = Leaves-1) in which every host sends to the host Count
 	// leaves over. Requires a fat-tree topology.
 	GroupAllToAll = "alltoall"
+	// GroupOpenBSG is the open-loop bulk group: Count sources whose sends
+	// are driven by an arrival process (see Arrival) instead of a
+	// completion loop, measuring per-message sojourn (arrival→completion)
+	// and delivered goodput. Requires an arrival block.
+	GroupOpenBSG = "openbsg"
+	// GroupOpenLSG is the open-loop latency flavor: one source (the probe
+	// slot, or Src), two-sided SENDs, payload defaulting to 64 B.
+	GroupOpenLSG = "openlsg"
 )
 
 func groupKinds() []string {
-	ks := []string{GroupBSG, GroupLSG, GroupPretend, GroupRPerf, GroupPerftest, GroupQperf, GroupAllToAll}
+	ks := []string{GroupBSG, GroupLSG, GroupPretend, GroupRPerf, GroupPerftest, GroupQperf, GroupAllToAll, GroupOpenBSG, GroupOpenLSG}
 	sort.Strings(ks)
 	return ks
+}
+
+// openKind reports whether a group kind is arrival-driven (open loop).
+func openKind(kind string) bool { return kind == GroupOpenBSG || kind == GroupOpenLSG }
+
+// Arrival process kinds (open-loop groups). The names mirror
+// workload.Poisson/Fixed/Trace; the spec layer keeps its own constants so
+// the JSON schema is defined here, next to its validation.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalFixed   = "fixed"
+	ArrivalTrace   = "trace"
+)
+
+func arrivalKinds() []string {
+	return []string{ArrivalFixed, ArrivalPoisson, ArrivalTrace}
+}
+
+// Arrival describes an open-loop group's arrival process. The schedule it
+// generates is a pure function of (seed, group index): it draws from the
+// sealed stream rng.New(seed).Split("arrival:<group-index>"), so it is
+// byte-identical across shard counts and barrier modes (see
+// DESIGN.md "Open-loop workloads").
+type Arrival struct {
+	// Kind is poisson, fixed or trace.
+	Kind string `json:"kind"`
+	// RateMps is the arrival rate in messages per second (poisson, fixed).
+	// A load sweep axis (AxisLoad) overwrites it per grid point.
+	RateMps float64 `json:"rate_mps,omitempty"`
+	// TraceUs lists explicit arrival offsets in microseconds from run
+	// start, sorted and non-negative (trace only).
+	TraceUs []float64 `json:"trace,omitempty"`
 }
 
 // Group is one traffic group of a workload.
@@ -86,6 +126,53 @@ type Group struct {
 	// MsgCostNs overrides the per-message RNIC engine cost in
 	// nanoseconds to model batched posting (bsg only; 0 = NIC default).
 	MsgCostNs int64 `json:"msg_cost_ns,omitempty"`
+	// Arrival drives an open-loop group (openbsg, openlsg): sends follow
+	// this arrival process instead of a completion loop. Required for the
+	// open kinds, rejected on every other kind.
+	Arrival *Arrival `json:"arrival,omitempty"`
+}
+
+// validateArrival checks the group's arrival block: required (and well
+// formed) for the open-loop kinds, rejected everywhere else. Errors name
+// the offending field.
+func (g Group) validateArrival(gp string) error {
+	if !openKind(g.Kind) {
+		if g.Arrival != nil {
+			return fmt.Errorf("spec: %s.arrival is only valid for the open-loop kinds (%s, %s), not %q",
+				gp, GroupOpenBSG, GroupOpenLSG, g.Kind)
+		}
+		return nil
+	}
+	a := g.Arrival
+	if a == nil {
+		return fmt.Errorf("spec: %s.arrival is required for kind %q", gp, g.Kind)
+	}
+	ap := gp + ".arrival"
+	switch a.Kind {
+	case ArrivalPoisson, ArrivalFixed:
+		if a.RateMps <= 0 {
+			return fmt.Errorf("spec: %s.rate_mps must be positive for kind %q, got %g", ap, a.Kind, a.RateMps)
+		}
+		if len(a.TraceUs) > 0 {
+			return fmt.Errorf("spec: %s.trace is only valid for kind %q, not %q", ap, ArrivalTrace, a.Kind)
+		}
+	case ArrivalTrace:
+		if len(a.TraceUs) == 0 {
+			return fmt.Errorf("spec: %s.trace must list at least one arrival offset for kind %q", ap, ArrivalTrace)
+		}
+		for i, us := range a.TraceUs {
+			if us < 0 {
+				return fmt.Errorf("spec: %s.trace[%d] must be non-negative, got %g", ap, i, us)
+			}
+			if i > 0 && us < a.TraceUs[i-1] {
+				return fmt.Errorf("spec: %s.trace[%d] (%g) is before trace[%d] (%g): the trace must be sorted",
+					ap, i, us, i-1, a.TraceUs[i-1])
+			}
+		}
+	default:
+		return fmt.Errorf("spec: %s.kind %q unknown (valid: %s)", ap, a.Kind, strings.Join(arrivalKinds(), ", "))
+	}
+	return nil
 }
 
 // Workload is an ordered list of traffic groups. Order matters and is part
@@ -194,10 +281,16 @@ const (
 	// hatch for heterogeneous sweeps (the four QoS setups of Fig. 12).
 	// A variant axis must come first.
 	AxisVariant = "variant"
+	// AxisLoad sweeps the offered load of every open-loop group as a
+	// fraction of the bottleneck wire rate: each value rewrites the
+	// groups' arrival rate_mps so their combined offered *wire* bytes
+	// (payload + per-segment headers) equal load × the profile's link
+	// bandwidth. Requires at least one open-loop group in the point.
+	AxisLoad = "load"
 )
 
 func axisFields() []string {
-	fs := []string{AxisPayload, AxisBSGs, AxisPolicy, AxisTopology, AxisProfile, AxisVariant}
+	fs := []string{AxisPayload, AxisBSGs, AxisPolicy, AxisTopology, AxisProfile, AxisVariant, AxisLoad}
 	sort.Strings(fs)
 	return fs
 }
@@ -218,6 +311,7 @@ type Axis struct {
 	Topologies []topology.Spec `json:"topologies,omitempty"`
 	Profiles   []string        `json:"profiles,omitempty"`
 	Variants   []Variant       `json:"variants,omitempty"`
+	Loads      []float64       `json:"loads,omitempty"`
 }
 
 // Len is the number of values along the axis.
@@ -235,6 +329,8 @@ func (a Axis) Len() int {
 		return len(a.Profiles)
 	case AxisVariant:
 		return len(a.Variants)
+	case AxisLoad:
+		return len(a.Loads)
 	}
 	return 0
 }
@@ -301,6 +397,7 @@ func (a Axis) validate(path string) error {
 		AxisTopology: len(a.Topologies),
 		AxisProfile:  len(a.Profiles),
 		AxisVariant:  len(a.Variants),
+		AxisLoad:     len(a.Loads),
 	}
 	if _, ok := lists[a.Field]; !ok {
 		return fmt.Errorf("spec: %s.field %q unknown (valid: %s)", path, a.Field, strings.Join(axisFields(), ", "))
@@ -353,6 +450,12 @@ func (a Axis) validate(path string) error {
 				return err
 			}
 		}
+	case AxisLoad:
+		for i, l := range a.Loads {
+			if l <= 0 {
+				return fmt.Errorf("spec: %s.loads[%d] must be positive, got %g", path, i, l)
+			}
+		}
 	}
 	return nil
 }
@@ -372,6 +475,8 @@ func (a Axis) listName() string {
 		return "profiles"
 	case AxisVariant:
 		return "variants"
+	case AxisLoad:
+		return "loads"
 	}
 	return "values"
 }
@@ -408,7 +513,7 @@ func (p Point) validate(path string) error {
 	for i, g := range p.Workload {
 		gp := fmt.Sprintf("%s.workload[%d]", path, i)
 		switch g.Kind {
-		case GroupBSG, GroupLSG, GroupPretend, GroupRPerf, GroupPerftest, GroupQperf:
+		case GroupBSG, GroupLSG, GroupPretend, GroupRPerf, GroupPerftest, GroupQperf, GroupOpenBSG, GroupOpenLSG:
 		case GroupAllToAll:
 			if p.Topology.Kind != topology.KindFatTree {
 				return fmt.Errorf("spec: %s: kind %q requires a fattree topology, got %q", gp, g.Kind, p.Topology.Kind)
@@ -417,10 +522,13 @@ func (p Point) validate(path string) error {
 			return fmt.Errorf("spec: %s.kind %q unknown (valid: %s)", gp, g.Kind, strings.Join(groupKinds(), ", "))
 		}
 		switch g.Kind {
-		case GroupBSG, GroupAllToAll, GroupPerftest, GroupQperf:
+		case GroupBSG, GroupAllToAll, GroupPerftest, GroupQperf, GroupOpenBSG:
 			if g.Payload <= 0 {
 				return fmt.Errorf("spec: %s.payload must be positive for kind %q, got %d", gp, g.Kind, g.Payload)
 			}
+		}
+		if err := g.validateArrival(gp); err != nil {
+			return err
 		}
 		if g.Count < 0 {
 			return fmt.Errorf("spec: %s.count must be non-negative, got %d", gp, g.Count)
@@ -594,6 +702,14 @@ type Metrics struct {
 	// FaultP99InflationPct is the latency probe's p99 inflation over the
 	// same-seed fault-free twin, in percent (measure_inflation only).
 	FaultP99InflationPct float64
+	// Open-loop family (all 0 without open-loop groups). Offered is the
+	// scheduled arrival payload rate inside the measurement window;
+	// Delivered the destination-metered goodput; the sojourn quantiles
+	// cover arrival→completion (backlog wait included); BacklogMax is the
+	// deepest per-source backlog, averaged across seeds (so fractional).
+	OfferedGbps, DeliveredGbps               float64
+	SojournP50Us, SojournP99Us, SojournP999Us float64
+	BacklogMax                                float64
 }
 
 // metricTable maps Collect names to extraction + formatting. The format
@@ -633,6 +749,14 @@ var metricTable = map[string]func(Metrics) string{
 	"failover_total":          func(m Metrics) string { return f1(m.FailedOver) },
 	"recovery_us":             func(m Metrics) string { return f2(m.RecoveryUs) },
 	"fault_p99_inflation_pct": func(m Metrics) string { return f1(m.FaultP99InflationPct) },
+	// Open-loop family (all 0 without open-loop groups). backlog_max prints
+	// with one decimal: it is a per-seed maximum averaged across seeds.
+	"offered_gbps":    func(m Metrics) string { return f2(m.OfferedGbps) },
+	"delivered_gbps":  func(m Metrics) string { return f2(m.DeliveredGbps) },
+	"sojourn_p50_us":  func(m Metrics) string { return f2(m.SojournP50Us) },
+	"sojourn_p99_us":  func(m Metrics) string { return f2(m.SojournP99Us) },
+	"sojourn_p999_us": func(m Metrics) string { return f2(m.SojournP999Us) },
+	"backlog_max":     func(m Metrics) string { return f1(m.BacklogMax) },
 }
 
 func sum(xs []float64) float64 {
@@ -687,6 +811,7 @@ func ReduceSeeds(results []Result) Metrics {
 	var meds, tails, pretends, totals []float64
 	var rmeds, rtails, pp50, pp999, qmean, fair []float64
 	var fsent, fdrops, retx, rnr, qperr, fover, recov, infl []float64
+	var offered, delivered, sj50, sj99, sj999, backmax []float64
 	var perBSG [][]float64
 	// Per-tenant arrays accumulate slot-wise like perBSG: every seed of a
 	// point declares the same tenants, so slot i is tenant i throughout.
@@ -720,6 +845,12 @@ func ReduceSeeds(results []Result) Metrics {
 		fover = append(fover, float64(r.FailedOver))
 		recov = append(recov, r.RecoveryUs)
 		infl = append(infl, r.FaultP99InflationPct)
+		offered = append(offered, r.OfferedGbps)
+		delivered = append(delivered, r.DeliveredGbps)
+		sj50 = append(sj50, r.SojournP50Us)
+		sj99 = append(sj99, r.SojournP99Us)
+		sj999 = append(sj999, r.SojournP999Us)
+		backmax = append(backmax, float64(r.BacklogMax))
 		for j, vals := range [6][]float64{r.TenantGbps, r.TenantConf, r.TenantP99Us, r.TenantP999Us, r.TenantIsoP99Us, r.TenantIsoP999Us} {
 			slot(&perTenant[j], vals)
 		}
@@ -745,6 +876,12 @@ func ReduceSeeds(results []Result) Metrics {
 	m.FailedOver = stats.Mean(fover)
 	m.RecoveryUs = stats.Mean(recov)
 	m.FaultP99InflationPct = stats.Mean(infl)
+	m.OfferedGbps = stats.Mean(offered)
+	m.DeliveredGbps = stats.Mean(delivered)
+	m.SojournP50Us = stats.Mean(sj50)
+	m.SojournP99Us = stats.Mean(sj99)
+	m.SojournP999Us = stats.Mean(sj999)
+	m.BacklogMax = stats.Mean(backmax)
 	for j, dst := range [6]*[]float64{&m.TenantGbps, &m.TenantConf, &m.TenantP99Us, &m.TenantP999Us, &m.TenantIsoP99Us, &m.TenantIsoP999Us} {
 		for _, vals := range perTenant[j] {
 			*dst = append(*dst, stats.Mean(vals))

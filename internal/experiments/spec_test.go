@@ -146,6 +146,30 @@ func TestSpecValidationErrors(t *testing.T) {
 			`dst 9 out of range [0, 7)`},
 		{"alltoall needs fattree", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"alltoall","payload":4096}]},"collect":["bulk_total_gbps"]}`,
 			`requires a fattree topology`},
+		{"arrival on closed-loop kind", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"bsg","count":2,"payload":4096,"arrival":{"kind":"poisson","rate_mps":1e6}}]},"collect":["bulk_total_gbps"]}`,
+			`workload[0].arrival is only valid for the open-loop kinds (openbsg, openlsg), not "bsg"`},
+		{"open group missing arrival", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"payload":4096}]},"collect":["delivered_gbps"]}`,
+			`workload[0].arrival is required for kind "openbsg"`},
+		{"open group zero rate", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"payload":4096,"arrival":{"kind":"poisson"}}]},"collect":["delivered_gbps"]}`,
+			`workload[0].arrival.rate_mps must be positive for kind "poisson", got 0`},
+		{"open group negative rate", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openlsg","arrival":{"kind":"fixed","rate_mps":-3}}]},"collect":["sojourn_p99_us"]}`,
+			`workload[0].arrival.rate_mps must be positive for kind "fixed", got -3`},
+		{"trace on rate-driven arrival", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"payload":4096,"arrival":{"kind":"poisson","rate_mps":1e6,"trace":[1,2]}}]},"collect":["delivered_gbps"]}`,
+			`workload[0].arrival.trace is only valid for kind "trace", not "poisson"`},
+		{"empty trace", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"payload":4096,"arrival":{"kind":"trace"}}]},"collect":["delivered_gbps"]}`,
+			`workload[0].arrival.trace must list at least one arrival offset`},
+		{"negative trace entry", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"payload":4096,"arrival":{"kind":"trace","trace":[0,-1,2]}}]},"collect":["delivered_gbps"]}`,
+			`workload[0].arrival.trace[1] must be non-negative, got -1`},
+		{"unsorted trace", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"payload":4096,"arrival":{"kind":"trace","trace":[0,5,3]}}]},"collect":["delivered_gbps"]}`,
+			`workload[0].arrival.trace[2] (3) is before trace[1] (5): the trace must be sorted`},
+		{"unknown arrival kind", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"payload":4096,"arrival":{"kind":"burst","rate_mps":1e6}}]},"collect":["delivered_gbps"]}`,
+			`workload[0].arrival.kind "burst" unknown (valid: fixed, poisson, trace)`},
+		{"open group missing payload", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"arrival":{"kind":"poisson","rate_mps":1e6}}]},"collect":["delivered_gbps"]}`,
+			`workload[0].payload must be positive`},
+		{"nonpositive load", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"payload":4096,"arrival":{"kind":"poisson","rate_mps":1}}]},"sweep":[{"field":"load","loads":[0.5,0]}],"collect":["sojourn_p99_us"]}`,
+			`loads[1] must be positive, got 0`},
+		{"load axis list mismatch", `{"base":{"topology":{"kind":"star"},"workload":[{"kind":"openbsg","count":2,"payload":4096,"arrival":{"kind":"poisson","rate_mps":1}}]},"sweep":[{"field":"load","counts":[1]}],"collect":["sojourn_p99_us"]}`,
+			`needs a non-empty loads list`},
 		{"missing base", `{"sweep":[{"field":"bsgs","counts":[1]}],"collect":["lsg_p50_us"]}`,
 			`base is required`},
 		{"tenants with dedicated qos", `{"base":{"topology":{"kind":"star"},"qos":"dedicated","workload":[{"kind":"bsg","count":2,"payload":4096}],"tenants":[{"name":"a","promised_gbps":10,"groups":[0]}]},"collect":["slice_gbps"]}`,

@@ -3,7 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/ib"
 	"repro/internal/ibswitch"
+	"repro/internal/model"
+	"repro/internal/units"
 )
 
 // The generic sweep engine: resolve a Spec's axis cross product into an
@@ -160,8 +163,71 @@ func applyAxis(p *Point, ax Axis, idx int) (string, error) {
 	case AxisVariant:
 		*p = ax.Variants[idx].Point
 		return ax.Variants[idx].Name, nil
+	case AxisLoad:
+		v := ax.Loads[idx]
+		if err := applyLoad(p, v); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%.2f", v), nil
 	}
 	return "", fmt.Errorf("spec: axis field %q unknown", ax.Field)
+}
+
+// applyLoad rewrites every rate-driven open-loop group's arrival rate so
+// the groups' combined offered wire bytes (payload + per-segment headers)
+// equal load × the profile's link bandwidth — the bottleneck of every
+// many-to-one pattern is the drain's host link. The load splits evenly
+// across the rate-driven groups; trace-driven groups keep their schedule
+// (their load is the trace's own).
+func applyLoad(p *Point, load float64) error {
+	fab, err := model.Profile(p.Profile)
+	if err != nil {
+		return err
+	}
+	nRated := 0
+	for _, g := range p.Workload {
+		if openKind(g.Kind) && g.Arrival != nil && g.Arrival.Kind != ArrivalTrace {
+			nRated++
+		}
+	}
+	if nRated == 0 {
+		return fmt.Errorf("spec: load axis requires at least one rate-driven open-loop group (%s/%s with a poisson or fixed arrival)",
+			GroupOpenBSG, GroupOpenLSG)
+	}
+	bytesPerSec := float64(fab.Link.Bandwidth) / 8
+	gs := make(Workload, len(p.Workload))
+	copy(gs, p.Workload)
+	for i := range gs {
+		g := &gs[i]
+		if !openKind(g.Kind) || g.Arrival == nil || g.Arrival.Kind == ArrivalTrace {
+			continue
+		}
+		payload := g.Payload
+		if payload == 0 {
+			payload = 64 // the openlsg default
+		}
+		// The arrival block is a pointer: clone it so grid points never
+		// share arrival storage (the same copy-on-write rule mutateGroups
+		// applies to the group slice itself).
+		a := *g.Arrival
+		a.RateMps = load * bytesPerSec / (float64(wireBytes(units.ByteSize(payload), fab.NIC.MTU)) * float64(nRated))
+		g.Arrival = &a
+	}
+	p.Workload = gs
+	return nil
+}
+
+// wireBytes is one message's on-wire footprint: the payload plus the
+// worst-case header of every MTU segment it is cut into.
+func wireBytes(payload, mtu units.ByteSize) units.ByteSize {
+	if mtu <= 0 {
+		mtu = ib.DefaultMTU
+	}
+	segs := (payload + mtu - 1) / mtu
+	if segs < 1 {
+		segs = 1
+	}
+	return payload + segs*ib.MaxHeaderBytes
 }
 
 // RunSpec executes a definition: validate, enumerate, fan the point×seed

@@ -1,0 +1,177 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rnic"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestSchedulePurity is the determinism property the whole subsystem rests
+// on: a Poisson arrival schedule is a pure function of (seed, group index,
+// spec, horizon) — repeated generation reproduces it exactly, and distinct
+// seeds or group indices yield distinct streams.
+func TestSchedulePurity(t *testing.T) {
+	a := workload.Arrival{Kind: workload.Poisson, RateMps: 2e6}
+	horizon := units.Time(0).Add(500 * units.Microsecond)
+	ref := workload.Schedule(7, 3, a, horizon)
+	if len(ref) < 100 {
+		t.Fatalf("schedule too short to test anything: %d arrivals", len(ref))
+	}
+	for i := 0; i < 5; i++ {
+		if got := workload.Schedule(7, 3, a, horizon); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("regeneration %d diverged: schedule is not a pure function of (seed, group)", i)
+		}
+	}
+	if got := workload.Schedule(8, 3, a, horizon); reflect.DeepEqual(got, ref) {
+		t.Error("seeds 7 and 8 produced identical schedules")
+	}
+	if got := workload.Schedule(7, 4, a, horizon); reflect.DeepEqual(got, ref) {
+		t.Error("groups 3 and 4 produced identical schedules under one seed")
+	}
+	for i := 1; i < len(ref); i++ {
+		if ref[i] < ref[i-1] {
+			t.Fatalf("schedule not ascending at %d: %v < %v", i, ref[i], ref[i-1])
+		}
+	}
+	if ref[len(ref)-1] >= horizon {
+		t.Errorf("arrival %v at or past the horizon %v", ref[len(ref)-1], horizon)
+	}
+}
+
+// TestScheduleFixed checks the deterministic pacer: arrivals exactly
+// 1/rate apart, starting at 0, none at or past the horizon.
+func TestScheduleFixed(t *testing.T) {
+	a := workload.Arrival{Kind: workload.Fixed, RateMps: 1e6} // 1 msg/us
+	horizon := units.Time(0).Add(10 * units.Microsecond)
+	got := workload.Schedule(1, 0, a, horizon)
+	if len(got) != 10 {
+		t.Fatalf("fixed 1 msg/us over 10 us: got %d arrivals, want 10", len(got))
+	}
+	for i, at := range got {
+		want := units.Time(i) * units.Time(units.Microsecond)
+		if at != want {
+			t.Errorf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+	// The fixed schedule must not depend on the seed at all.
+	if other := workload.Schedule(99, 0, a, horizon); !reflect.DeepEqual(other, got) {
+		t.Error("fixed schedule varied with the seed")
+	}
+}
+
+// TestScheduleTrace checks trace replay: microsecond offsets converted
+// exactly, entries past the horizon dropped.
+func TestScheduleTrace(t *testing.T) {
+	a := workload.Arrival{Kind: workload.Trace, TraceUs: []float64{0, 0.5, 2, 2, 7, 12}}
+	horizon := units.Time(0).Add(10 * units.Microsecond)
+	got := workload.Schedule(1, 0, a, horizon)
+	want := []units.Time{
+		0,
+		units.Time(500 * units.Nanosecond),
+		units.Time(2 * units.Microsecond),
+		units.Time(2 * units.Microsecond),
+		units.Time(7 * units.Microsecond),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("trace schedule = %v, want %v", got, want)
+	}
+}
+
+// TestPoissonRate sanity-checks the mean rate of the generated process:
+// over a long horizon the arrival count should be within a few percent of
+// rate × horizon.
+func TestPoissonRate(t *testing.T) {
+	rate := 5e6 // 5 msgs/us... per second: 5e6 msg/s = 5 msg/ms
+	horizon := units.Time(0).Add(20 * units.Millisecond)
+	n := len(workload.Schedule(3, 0, workload.Arrival{Kind: workload.Poisson, RateMps: rate}, horizon))
+	want := rate * units.Duration(horizon.Sub(units.Time(0))).Seconds()
+	if f := float64(n) / want; f < 0.9 || f > 1.1 {
+		t.Errorf("poisson produced %d arrivals over %v, want ~%.0f (ratio %.3f)", n, horizon, want, f)
+	}
+}
+
+// openHarness runs one open-loop group on a back-to-back pair and returns
+// it after the run.
+func openHarness(t *testing.T, a workload.Arrival, dur units.Duration, window int) *workload.Open {
+	t.Helper()
+	c, err := topology.SpecBackToBack.Build(model.HWTestbed(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := units.Time(0).Add(dur)
+	warm := units.Time(0).Add(dur / 4)
+	o, err := workload.NewOpen([]*rnic.RNIC{c.NIC(0)}, c.NIC(1), workload.Config{
+		Seed: 1, Group: 0, Arrival: a,
+		Payload: 4096, Horizon: end, Warmup: warm, Window: window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Start()
+	c.Eng.RunUntil(end)
+	o.CloseAt(end)
+	return o
+}
+
+// TestOpenUncongested drives a light Poisson load through a back-to-back
+// link: everything scheduled inside the horizon completes (minus the tail
+// still in flight at the end), the backlog never engages, and sojourns sit
+// near the unloaded one-way time rather than accumulating queueing.
+func TestOpenUncongested(t *testing.T) {
+	// 4 KB at 500 kmsg/s = ~16 Gb/s offered on a 56 Gb/s link.
+	o := openHarness(t, workload.Arrival{Kind: workload.Poisson, RateMps: 5e5}, 4*units.Millisecond, 0)
+	if o.BacklogMax() != 0 {
+		t.Errorf("uncongested run saw backlog depth %d, want 0", o.BacklogMax())
+	}
+	n := o.ArrivalsIn(0, units.Time(0).Add(4*units.Millisecond))
+	if o.Completed() < uint64(n)-16 {
+		t.Errorf("completed %d of %d scheduled arrivals; open loop stalled", o.Completed(), n)
+	}
+	h := o.Sojourns()
+	if h.Count() == 0 {
+		t.Fatal("no sojourn samples recorded")
+	}
+	if p99 := h.QuantileDuration(0.99).Microseconds(); p99 > 10 {
+		t.Errorf("uncongested p99 sojourn %.2f us, want well under 10", p99)
+	}
+}
+
+// TestOpenOverload offers ~2x the link rate: the backlog must grow (open
+// loop: arrivals never throttle), delivered goodput must cap out near the
+// wire limit, and sojourns must dwarf the uncongested case.
+func TestOpenOverload(t *testing.T) {
+	// 4 KB at 3.5 Mmsg/s = ~115 Gb/s offered on a 56 Gb/s link.
+	o := openHarness(t, workload.Arrival{Kind: workload.Poisson, RateMps: 3.5e6}, 2*units.Millisecond, 8)
+	if o.BacklogMax() < 100 {
+		t.Errorf("overload backlog peaked at %d, want deep (>100): arrivals must not throttle", o.BacklogMax())
+	}
+	if gbps := o.DeliveredGoodput().Gigabits(); gbps < 40 || gbps > 57 {
+		t.Errorf("overloaded delivered goodput %.1f Gb/s, want pinned near the 56 Gb/s line", gbps)
+	}
+	h := o.Sojourns()
+	if p50 := h.QuantileDuration(0.50).Microseconds(); p50 < 20 {
+		t.Errorf("overload median sojourn %.2f us, want dominated by backlog wait (>20)", p50)
+	}
+}
+
+// TestOpenFixedDrainsExactly paces arrivals the link can just absorb and
+// checks the accounting identities: arrived == scheduled, completed
+// trails posted by at most the window.
+func TestOpenFixedDrainsExactly(t *testing.T) {
+	o := openHarness(t, workload.Arrival{Kind: workload.Fixed, RateMps: 1e6}, 2*units.Millisecond, 0)
+	n := o.ArrivalsIn(0, units.Time(0).Add(2*units.Millisecond))
+	if n != 2000 {
+		t.Fatalf("fixed 1 Mmsg/s over 2 ms: scheduled %d, want 2000", n)
+	}
+	if o.Backlog() != 0 {
+		t.Errorf("paced run ended with backlog %d, want 0", o.Backlog())
+	}
+	if o.Completed() < uint64(n)-16 {
+		t.Errorf("completed %d of %d", o.Completed(), n)
+	}
+}
